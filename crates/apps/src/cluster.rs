@@ -1,0 +1,367 @@
+//! Cluster construction: wires nodes, RPC endpoints and a DM backend into
+//! one of the paper's three systems (eRPC baseline, DmRPC-net, DmRPC-CXL).
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use dmcommon::CopyMode;
+use dmcxl::{CxlFabric, CxlHostConfig};
+use dmnet::{DmNetClient, DmServer, DmServerConfig};
+use dmrpc::{DmHandle, DmRpc};
+use memsim::{ModelParams, NodeMemory};
+use rpclib::{RpcBuilder, RpcConfig};
+use simcore::CpuPool;
+use simnet::{Addr, FabricConfig, Network, NicConfig, NodeId};
+
+/// Which of the paper's systems a cluster runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemKind {
+    /// Pass-by-value eRPC (the baseline).
+    Erpc,
+    /// DmRPC over network-attached DM servers.
+    DmNet,
+    /// DmRPC over the CXL G-FAM pool.
+    DmCxl,
+}
+
+impl SystemKind {
+    /// All three systems, in the paper's presentation order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Erpc, SystemKind::DmNet, SystemKind::DmCxl];
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Erpc => "eRPC",
+            SystemKind::DmNet => "DmRPC-net",
+            SystemKind::DmCxl => "DmRPC-CXL",
+        }
+    }
+}
+
+/// One compute server: node id plus its CPU and memory models.
+#[derive(Clone)]
+pub struct ServiceNode {
+    /// Fabric node.
+    pub id: NodeId,
+    /// Application cores (paper testbed: 12 usable cores per socket).
+    pub cpu: CpuPool,
+    /// Memory system (traffic counters feed Fig. 6b).
+    pub mem: NodeMemory,
+}
+
+/// Cluster-wide tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Cores per compute server.
+    pub cores_per_node: u64,
+    /// Copy policy of the DM backend (COW vs the `-copy` ablation).
+    pub copy_mode: CopyMode,
+    /// DM-server worker cores (DmRPC-net).
+    pub dm_server_cores: u64,
+    /// Pool capacity in pages per DM server / for the whole G-FAM device.
+    pub dm_capacity_pages: usize,
+    /// Pass-by-reference threshold override (None = dmrpc default).
+    pub threshold: Option<u64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cores_per_node: 12,
+            copy_mode: CopyMode::CopyOnWrite,
+            dm_server_cores: 4,
+            dm_capacity_pages: 65_536, // 256 MiB
+            threshold: None,
+        }
+    }
+}
+
+/// A simulated deployment of one system.
+pub struct Cluster {
+    /// The fabric.
+    pub net: Network,
+    /// Shared memory-model parameters (CXL latency knob lives here).
+    pub params: ModelParams,
+    /// Which system this cluster runs.
+    pub kind: SystemKind,
+    config: ClusterConfig,
+    nodes: RefCell<Vec<ServiceNode>>,
+    /// DM servers (DmNet only).
+    pub dm_servers: Vec<Rc<DmServer>>,
+    dm_pool: Vec<Addr>,
+    fabric: Option<CxlFabric>,
+    endpoints: RefCell<Vec<Weak<DmRpc>>>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Handlers close over their endpoints, which own the Rpc that owns
+        // the handlers: an Rc cycle. Benches build many clusters in one
+        // process, so break the cycle explicitly at teardown.
+        for ep in self.endpoints.borrow().iter() {
+            if let Some(ep) = ep.upgrade() {
+                ep.rpc().shutdown();
+            }
+        }
+        for s in &self.dm_servers {
+            s.shutdown();
+        }
+        if let Some(f) = &self.fabric {
+            f.coordinator().shutdown();
+        }
+    }
+}
+
+impl Cluster {
+    /// Build a cluster for `kind`. For DmNet, `n_dm_servers` memory nodes
+    /// are created (the paper uses two); for DmCxl one coordinator node is
+    /// created. Must be called inside the simulation.
+    pub fn new(kind: SystemKind, n_dm_servers: usize, config: ClusterConfig, seed: u64) -> Cluster {
+        let net = Network::new(FabricConfig::default(), seed);
+        let params = ModelParams::new();
+        let mut dm_servers = Vec::new();
+        let mut dm_pool = Vec::new();
+        let mut fabric = None;
+        match kind {
+            SystemKind::Erpc => {}
+            SystemKind::DmNet => {
+                let cfg = DmServerConfig {
+                    capacity_pages: config.dm_capacity_pages,
+                    copy_mode: config.copy_mode,
+                    cores: config.dm_server_cores,
+                    ..Default::default()
+                };
+                for i in 0..n_dm_servers.max(1) {
+                    let node = net.add_node(format!("dm{i}"), NicConfig::default());
+                    let mem = NodeMemory::with_defaults(format!("dm{i}"), params.clone());
+                    let s = DmServer::start(&net, node, mem, cfg);
+                    dm_pool.push(s.addr());
+                    dm_servers.push(s);
+                }
+            }
+            SystemKind::DmCxl => {
+                let coord = net.add_node("coord", NicConfig::default());
+                let host_cfg = CxlHostConfig {
+                    copy_mode: config.copy_mode,
+                    ..Default::default()
+                };
+                fabric = Some(CxlFabric::new(
+                    &net,
+                    coord,
+                    config.dm_capacity_pages,
+                    params.clone(),
+                    host_cfg,
+                ));
+            }
+        }
+        Cluster {
+            net,
+            params,
+            kind,
+            config,
+            nodes: RefCell::new(Vec::new()),
+            dm_servers,
+            dm_pool,
+            fabric,
+            endpoints: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The CXL fabric, if this is a DmCxl cluster.
+    pub fn cxl_fabric(&self) -> Option<&CxlFabric> {
+        self.fabric.as_ref()
+    }
+
+    /// Add a compute server.
+    pub fn add_server(&self, name: impl Into<String>) -> ServiceNode {
+        let name = name.into();
+        let id = self.net.add_node(name.clone(), NicConfig::default());
+        let node = ServiceNode {
+            id,
+            cpu: CpuPool::new(self.config.cores_per_node),
+            mem: NodeMemory::with_defaults(name, self.params.clone()),
+        };
+        self.nodes.borrow_mut().push(node.clone());
+        node
+    }
+
+    /// All compute servers added so far.
+    pub fn servers(&self) -> Vec<ServiceNode> {
+        self.nodes.borrow().clone()
+    }
+
+    /// Create a DmRPC endpoint for one service process on `node`, with the
+    /// cluster's transfer policy.
+    pub async fn endpoint(&self, node: &ServiceNode, port: u16) -> Rc<DmRpc> {
+        self.endpoint_with_config(node, port, RpcConfig::default())
+            .await
+    }
+
+    /// Like [`Cluster::endpoint`] with an RPC config override.
+    pub async fn endpoint_with_config(
+        &self,
+        node: &ServiceNode,
+        port: u16,
+        rpc_config: RpcConfig,
+    ) -> Rc<DmRpc> {
+        let rpc = RpcBuilder::new(&self.net, node.id, port)
+            .config(rpc_config)
+            .cpu(node.cpu.clone())
+            .mem(node.mem.clone())
+            .build();
+        let ep = match self.kind {
+            SystemKind::Erpc => DmRpc::baseline(rpc),
+            SystemKind::DmNet => {
+                let dm = DmNetClient::connect(rpc.clone(), self.dm_pool.clone())
+                    .await
+                    .expect("DM pool registration");
+                let handle = DmHandle::Net(Rc::new(dm));
+                match self.config.threshold {
+                    Some(t) => DmRpc::with_threshold(rpc, handle, t),
+                    None => DmRpc::new(rpc, handle),
+                }
+            }
+            SystemKind::DmCxl => {
+                let fabric = self.fabric.as_ref().expect("cxl fabric present");
+                let handle = DmHandle::Cxl(fabric.new_host(rpc.clone()));
+                match self.config.threshold {
+                    Some(t) => DmRpc::with_threshold(rpc, handle, t),
+                    None => DmRpc::new(rpc, handle),
+                }
+            }
+        };
+        self.endpoints.borrow_mut().push(Rc::downgrade(&ep));
+        ep
+    }
+
+    /// Reset every statistics counter in the cluster (between warmup and
+    /// measurement).
+    pub fn reset_stats(&self) {
+        self.net.reset_stats();
+        for n in self.nodes.borrow().iter() {
+            n.mem.reset_stats();
+            n.cpu.reset_stats();
+        }
+        for s in &self.dm_servers {
+            s.memory().reset_stats();
+        }
+        if let Some(f) = &self.fabric {
+            f.gfam().reset_stats();
+        }
+    }
+
+    /// Mean handler service time in µs for the endpoint at `(node, port)`
+    /// and `req_type`, if that endpoint exists and has served requests.
+    /// Powers per-tier breakdown reports.
+    pub fn handler_mean_us(&self, node: NodeId, port: u16, req_type: u8) -> Option<f64> {
+        for ep in self.endpoints.borrow().iter() {
+            if let Some(ep) = ep.upgrade() {
+                let addr = ep.addr();
+                if addr.node == node && addr.port == port {
+                    return ep.rpc().handler_time(req_type).map(|h| h.mean() / 1e3);
+                }
+            }
+        }
+        None
+    }
+
+    /// Total DM memory traffic (DM servers for net, G-FAM for CXL).
+    pub fn dm_traffic_bytes(&self) -> u64 {
+        let net_traffic: u64 = self
+            .dm_servers
+            .iter()
+            .map(|s| s.memory().traffic_bytes())
+            .sum();
+        let cxl_traffic = self
+            .fabric
+            .as_ref()
+            .map(|f| f.gfam().traffic_bytes())
+            .unwrap_or(0);
+        net_traffic + cxl_traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simcore::Sim;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.cores_per_node, 12, "12 usable cores per socket");
+        assert_eq!(c.copy_mode, CopyMode::CopyOnWrite);
+        assert!(c.threshold.is_none());
+    }
+
+    #[test]
+    fn stats_reset_clears_everything() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let cluster = Cluster::new(SystemKind::DmNet, 2, ClusterConfig::default(), 1);
+            let node = cluster.add_server("svc");
+            let ep = cluster.endpoint(&node, 100).await;
+            let v = ep.make_value(Bytes::from(vec![1u8; 16384])).await.unwrap();
+            ep.fetch(&v).await.unwrap();
+            assert!(cluster.dm_traffic_bytes() > 0);
+            cluster.reset_stats();
+            assert_eq!(cluster.dm_traffic_bytes(), 0);
+            assert_eq!(cluster.net.node_tx_bytes(node.id), 0);
+            ep.release(&v).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn handler_mean_us_finds_the_right_endpoint() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let cluster = Cluster::new(SystemKind::Erpc, 0, ClusterConfig::default(), 1);
+            let sn = cluster.add_server("server");
+            let cn = cluster.add_server("client");
+            let server = cluster.endpoint(&sn, 100).await;
+            server.rpc().register(9, |ctx| async move {
+                simcore::sleep(std::time::Duration::from_micros(5)).await;
+                ctx.payload
+            });
+            let client = cluster.endpoint(&cn, 100).await;
+            for _ in 0..4 {
+                client
+                    .rpc()
+                    .call(server.addr(), 9, Bytes::from_static(b"x"))
+                    .await
+                    .unwrap();
+            }
+            let mean = cluster
+                .handler_mean_us(sn.id, 100, 9)
+                .expect("histogram exists");
+            assert!((mean - 5.0).abs() < 0.5, "mean {mean}");
+            assert!(cluster.handler_mean_us(sn.id, 100, 8).is_none());
+            assert!(cluster.handler_mean_us(cn.id, 101, 9).is_none());
+        });
+    }
+
+    #[test]
+    fn drop_breaks_handler_cycles() {
+        let sim = Sim::new();
+        let weak = sim.block_on(async {
+            let cluster = Cluster::new(SystemKind::DmNet, 1, ClusterConfig::default(), 1);
+            let node = cluster.add_server("svc");
+            let ep = cluster.endpoint(&node, 100).await;
+            // A handler that closes over the endpoint: the classic cycle.
+            let me = ep.clone();
+            ep.rpc().register(1, move |ctx| {
+                let _keep = me.clone();
+                async move { ctx.payload }
+            });
+            let weak = Rc::downgrade(&ep);
+            drop(ep);
+            drop(cluster); // Drop impl shuts down every endpoint's handlers
+            weak
+        });
+        assert!(
+            weak.upgrade().is_none(),
+            "endpoint leaked: the handler cycle was not broken"
+        );
+    }
+}

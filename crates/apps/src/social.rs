@@ -1,0 +1,608 @@
+//! DeathStarBench-style social network (paper §VI-F, Fig. 11).
+//!
+//! The paper evaluates the social-network application's mixed workload:
+//! 60% read-home-timeline, 30% read-user-timeline, 10% compose-post.
+//! "All requests traverse at least three data mover services (load
+//! balancer, proxy, and php-fpm) [...] Traffic in read-user-timeline even
+//! traverses five data mover services."
+//!
+//! Topology (three servers, as in the paper):
+//!
+//! * server A: `nginx` (entry LB) and `proxy`;
+//! * server B: `php-fpm`, `compose-post`, `home-timeline`;
+//! * server C: `user-timeline`, `post-storage`.
+//!
+//! Posts carry media payloads; under DmRPC the media travels as a `Ref`
+//! from composer to storage and from storage to reader, never touching the
+//! movers.
+//!
+//! Consistency note: post-storage evicts beyond [`POST_CAPACITY`] and
+//! releases the evicted refs. A reader that learned a post id just before
+//! its eviction can race the release; the DM layer then reports a clean
+//! `InvalidRef` (no stale data is ever served). Long-haul stress tests
+//! tolerate a sub-percent rate of these application-level races.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dmcommon::{DmError, DmResult};
+use dmrpc::{DmRpc, Value};
+use simcore::{SimRng, Zipf};
+use simnet::Addr;
+
+use crate::cluster::{Cluster, ServiceNode};
+use crate::codec::{decode_values, encode_values};
+
+/// Front-door request (nginx, proxy, php-fpm route on the op byte).
+pub const SOC_REQ: u8 = 5;
+/// Internal: store a post (post-storage).
+pub const SOC_STORE: u8 = 6;
+/// Internal: fetch posts by id (post-storage).
+pub const SOC_FETCH: u8 = 7;
+/// Internal: append to a user timeline.
+pub const SOC_APPEND_UTL: u8 = 8;
+/// Internal: append to a home timeline.
+pub const SOC_APPEND_HTL: u8 = 9;
+
+/// Front-door operations.
+pub const OP_COMPOSE: u8 = 0;
+/// Read the caller's home timeline.
+pub const OP_READ_HOME: u8 = 1;
+/// Read one user's timeline.
+pub const OP_READ_USER: u8 = 2;
+
+/// Posts returned per timeline read.
+pub const POSTS_PER_READ: usize = 5;
+/// Followers per user receiving home-timeline fan-out.
+pub const FOLLOWERS: usize = 8;
+/// Maximum posts retained before eviction.
+pub const POST_CAPACITY: usize = 4096;
+
+/// Workload mix (read-home, read-user, compose) — paper §VI-F.
+pub const MIX: [f64; 3] = [0.6, 0.3, 0.1];
+
+struct TimelineMap {
+    map: HashMap<u32, VecDeque<u64>>,
+}
+
+impl TimelineMap {
+    fn new() -> Self {
+        TimelineMap {
+            map: HashMap::new(),
+        }
+    }
+
+    fn append(&mut self, user: u32, post: u64) {
+        let tl = self.map.entry(user).or_default();
+        tl.push_back(post);
+        if tl.len() > 64 {
+            tl.pop_front();
+        }
+    }
+
+    fn recent(&self, user: u32, k: usize) -> Vec<u64> {
+        self.map
+            .get(&user)
+            .map(|tl| tl.iter().rev().take(k).copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+fn put_ids(out: &mut BytesMut, ids: &[u64]) {
+    out.put_u16_le(ids.len() as u16);
+    for &id in ids {
+        out.put_u64_le(id);
+    }
+}
+
+fn get_ids(b: &[u8]) -> DmResult<(Vec<u64>, usize)> {
+    if b.len() < 2 {
+        return Err(DmError::Malformed);
+    }
+    let n = u16::from_le_bytes(b[0..2].try_into().expect("len ok")) as usize;
+    if b.len() < 2 + 8 * n {
+        return Err(DmError::Malformed);
+    }
+    let ids = (0..n)
+        .map(|i| u64::from_le_bytes(b[2 + 8 * i..10 + 8 * i].try_into().expect("len ok")))
+        .collect();
+    Ok((ids, 2 + 8 * n))
+}
+
+/// A deployed social network.
+pub struct SocialApp {
+    /// The workload client's endpoint.
+    pub client: Rc<DmRpc>,
+    /// Front door (nginx).
+    pub entry: Addr,
+    /// Users in the social graph.
+    pub users: u32,
+    /// Media payload size per post.
+    pub media_size: usize,
+    /// The three server nodes (stats).
+    pub servers: Vec<ServiceNode>,
+    rng: SimRng,
+    zipf: Zipf,
+}
+
+/// Deploy the social network on three servers plus a client node.
+pub async fn build_social(
+    cluster: &Cluster,
+    users: u32,
+    media_size: usize,
+    seed: u64,
+) -> SocialApp {
+    let rng = SimRng::new(seed);
+    let server_a = cluster.add_server("sn-a");
+    let server_b = cluster.add_server("sn-b");
+    let server_c = cluster.add_server("sn-c");
+
+    // ---- post-storage (server C, port 101) -------------------------------
+    let storage_ep = cluster.endpoint(&server_c, 101).await;
+    // Post store: id -> media value, plus FIFO eviction order.
+    type PostStore = (HashMap<u64, Value>, VecDeque<u64>);
+    let posts: Rc<RefCell<PostStore>> = Rc::new(RefCell::new((HashMap::new(), VecDeque::new())));
+    {
+        // STORE: [post_id u64][value bytes]
+        let posts = posts.clone();
+        let ep = storage_ep.clone();
+        storage_ep.rpc().register(SOC_STORE, move |ctx| {
+            let posts = posts.clone();
+            let ep = ep.clone();
+            async move {
+                if ctx.payload.len() < 8 {
+                    return Bytes::new();
+                }
+                let id = u64::from_le_bytes(ctx.payload[..8].try_into().expect("len ok"));
+                let Ok(v) = Value::decode(&ctx.payload.slice(8..)) else {
+                    return Bytes::new();
+                };
+                let evicted = {
+                    let mut p = posts.borrow_mut();
+                    p.0.insert(id, v);
+                    p.1.push_back(id);
+                    if p.1.len() > POST_CAPACITY {
+                        let old = p.1.pop_front().expect("len > 0");
+                        p.0.remove(&old)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(old) = evicted {
+                    let _ = ep.release(&old).await;
+                }
+                Bytes::from_static(b"ok")
+            }
+        });
+    }
+    {
+        // FETCH: [ids] -> encoded value list (the storage never touches the
+        // media itself — it forwards stored Values).
+        let posts = posts.clone();
+        storage_ep.rpc().register(SOC_FETCH, move |ctx| {
+            let posts = posts.clone();
+            async move {
+                let Ok((ids, _)) = get_ids(&ctx.payload) else {
+                    return encode_values(&[]);
+                };
+                let p = posts.borrow();
+                let values: Vec<Value> = ids.iter().filter_map(|id| p.0.get(id).cloned()).collect();
+                encode_values(&values)
+            }
+        });
+    }
+    let storage_addr = storage_ep.addr();
+
+    // ---- user-timeline (server C, port 100) -------------------------------
+    let utl_ep = cluster.endpoint(&server_c, 100).await;
+    let utl = Rc::new(RefCell::new(TimelineMap::new()));
+    {
+        let utl2 = utl.clone();
+        utl_ep.rpc().register(SOC_APPEND_UTL, move |ctx| {
+            let utl = utl2.clone();
+            async move {
+                if ctx.payload.len() >= 12 {
+                    let user = u32::from_le_bytes(ctx.payload[..4].try_into().expect("len ok"));
+                    let post = u64::from_le_bytes(ctx.payload[4..12].try_into().expect("len ok"));
+                    utl.borrow_mut().append(user, post);
+                }
+                Bytes::from_static(b"ok")
+            }
+        });
+    }
+    {
+        // READ-USER: [user u32] -> value list via post-storage.
+        let utl2 = utl.clone();
+        let ep = utl_ep.clone();
+        utl_ep.rpc().register(SOC_REQ, move |ctx| {
+            let utl = utl2.clone();
+            let ep = ep.clone();
+            async move {
+                if ctx.payload.len() < 4 {
+                    return encode_values(&[]);
+                }
+                let user = u32::from_le_bytes(ctx.payload[..4].try_into().expect("len ok"));
+                let ids = utl.borrow().recent(user, POSTS_PER_READ);
+                let mut req = BytesMut::new();
+                put_ids(&mut req, &ids);
+                match ep.rpc().call(storage_addr, SOC_FETCH, req.freeze()).await {
+                    Ok(resp) => resp,
+                    Err(_) => encode_values(&[]),
+                }
+            }
+        });
+    }
+    let utl_addr = utl_ep.addr();
+
+    // ---- home-timeline (server B, port 102) --------------------------------
+    let htl_ep = cluster.endpoint(&server_b, 102).await;
+    let htl = Rc::new(RefCell::new(TimelineMap::new()));
+    {
+        let htl2 = htl.clone();
+        htl_ep.rpc().register(SOC_APPEND_HTL, move |ctx| {
+            let htl = htl2.clone();
+            async move {
+                if ctx.payload.len() >= 12 {
+                    let user = u32::from_le_bytes(ctx.payload[..4].try_into().expect("len ok"));
+                    let post = u64::from_le_bytes(ctx.payload[4..12].try_into().expect("len ok"));
+                    htl.borrow_mut().append(user, post);
+                }
+                Bytes::from_static(b"ok")
+            }
+        });
+    }
+    {
+        let htl2 = htl.clone();
+        let ep = htl_ep.clone();
+        htl_ep.rpc().register(SOC_REQ, move |ctx| {
+            let htl = htl2.clone();
+            let ep = ep.clone();
+            async move {
+                if ctx.payload.len() < 4 {
+                    return encode_values(&[]);
+                }
+                let user = u32::from_le_bytes(ctx.payload[..4].try_into().expect("len ok"));
+                let ids = htl.borrow().recent(user, POSTS_PER_READ);
+                let mut req = BytesMut::new();
+                put_ids(&mut req, &ids);
+                match ep.rpc().call(storage_addr, SOC_FETCH, req.freeze()).await {
+                    Ok(resp) => resp,
+                    Err(_) => encode_values(&[]),
+                }
+            }
+        });
+    }
+    let htl_addr = htl_ep.addr();
+
+    // ---- compose-post (server B, port 101) ---------------------------------
+    let compose_ep = cluster.endpoint(&server_b, 101).await;
+    let graph: Rc<Vec<Vec<u32>>> = Rc::new(
+        (0..users)
+            .map(|_| {
+                let g = SimRng::new(seed ^ 0xF00D);
+                (0..FOLLOWERS)
+                    .map(|_| g.gen_range(users as u64) as u32)
+                    .collect()
+            })
+            .collect(),
+    );
+    let next_post = Rc::new(std::cell::Cell::new(1u64));
+    {
+        let ep = compose_ep.clone();
+        let graph = graph.clone();
+        let next_post = next_post.clone();
+        compose_ep.rpc().register(SOC_REQ, move |ctx| {
+            let ep = ep.clone();
+            let graph = graph.clone();
+            let next_post = next_post.clone();
+            async move {
+                // [user u32][value bytes]
+                if ctx.payload.len() < 4 {
+                    return Bytes::new();
+                }
+                let user = u32::from_le_bytes(ctx.payload[..4].try_into().expect("len ok"));
+                let post_id = next_post.get();
+                next_post.set(post_id + 1);
+                // Store the post: forward the media value untouched.
+                let mut store_req = BytesMut::with_capacity(8 + ctx.payload.len());
+                store_req.put_u64_le(post_id);
+                store_req.extend_from_slice(&ctx.payload[4..]);
+                let _ = ep
+                    .rpc()
+                    .call(storage_addr, SOC_STORE, store_req.freeze())
+                    .await;
+                // Timeline updates (small control messages).
+                let mut app = BytesMut::with_capacity(12);
+                app.put_u32_le(user);
+                app.put_u64_le(post_id);
+                let _ = ep.rpc().call(utl_addr, SOC_APPEND_UTL, app.freeze()).await;
+                for &f in &graph[user as usize] {
+                    let mut app = BytesMut::with_capacity(12);
+                    app.put_u32_le(f);
+                    app.put_u64_le(post_id);
+                    let _ = ep.rpc().call(htl_addr, SOC_APPEND_HTL, app.freeze()).await;
+                }
+                Bytes::from_static(b"ok")
+            }
+        });
+    }
+    let compose_addr = compose_ep.addr();
+
+    // ---- data movers: php-fpm (B), proxy (A), nginx (A) --------------------
+    let phpfpm_ep = cluster.endpoint(&server_b, 100).await;
+    {
+        let ep = phpfpm_ep.clone();
+        phpfpm_ep.rpc().register(SOC_REQ, move |ctx| {
+            let ep = ep.clone();
+            async move {
+                let Some(&op) = ctx.payload.first() else {
+                    return Bytes::new();
+                };
+                let body = ctx.payload.slice(1..);
+                let target = match op {
+                    OP_COMPOSE => compose_addr,
+                    OP_READ_HOME => htl_addr,
+                    OP_READ_USER => utl_addr,
+                    _ => return Bytes::new(),
+                };
+                match ep.rpc().call(target, SOC_REQ, body).await {
+                    Ok(resp) => resp,
+                    Err(_) => Bytes::new(),
+                }
+            }
+        });
+    }
+    let phpfpm_addr = phpfpm_ep.addr();
+
+    let proxy_ep = cluster.endpoint(&server_a, 101).await;
+    {
+        let ep = proxy_ep.clone();
+        proxy_ep.rpc().register(SOC_REQ, move |ctx| {
+            let ep = ep.clone();
+            async move {
+                match ep.rpc().call(phpfpm_addr, SOC_REQ, ctx.payload).await {
+                    Ok(resp) => resp,
+                    Err(_) => Bytes::new(),
+                }
+            }
+        });
+    }
+    let proxy_addr = proxy_ep.addr();
+
+    let nginx_ep = cluster.endpoint(&server_a, 100).await;
+    {
+        let ep = nginx_ep.clone();
+        nginx_ep.rpc().register(SOC_REQ, move |ctx| {
+            let ep = ep.clone();
+            async move {
+                match ep.rpc().call(proxy_addr, SOC_REQ, ctx.payload).await {
+                    Ok(resp) => resp,
+                    Err(_) => Bytes::new(),
+                }
+            }
+        });
+    }
+
+    // ---- client -------------------------------------------------------------
+    let client_node = cluster.add_server("sn-client");
+    let client = cluster.endpoint(&client_node, 100).await;
+    SocialApp {
+        client,
+        entry: nginx_ep.addr(),
+        users,
+        media_size,
+        servers: vec![server_a, server_b, server_c],
+        zipf: Zipf::new(rng.fork(), users as usize, 0.99),
+        rng,
+    }
+}
+
+impl SocialApp {
+    /// Compose a post with fresh media for `user`.
+    pub async fn compose(&self, user: u32) -> DmResult<()> {
+        let media = Bytes::from(vec![(user % 251) as u8; self.media_size]);
+        let v = self.client.make_value(media).await?;
+        let mut req = BytesMut::with_capacity(5 + v.wire_bytes());
+        req.put_u8(OP_COMPOSE);
+        req.put_u32_le(user);
+        req.extend_from_slice(&v.encode());
+        let resp = self
+            .client
+            .rpc()
+            .call(self.entry, SOC_REQ, req.freeze())
+            .await
+            .map_err(|_| DmError::Transport)?;
+        // NOTE: the Ref ownership passes to post-storage; the client does
+        // not release it.
+        if resp.is_empty() {
+            return Err(DmError::Malformed);
+        }
+        Ok(())
+    }
+
+    async fn read(&self, op: u8, user: u32) -> DmResult<usize> {
+        let mut req = BytesMut::with_capacity(5);
+        req.put_u8(op);
+        req.put_u32_le(user);
+        let resp = self
+            .client
+            .rpc()
+            .call(self.entry, SOC_REQ, req.freeze())
+            .await
+            .map_err(|_| DmError::Transport)?;
+        let values = decode_values(&resp)?;
+        // Materialize all posts concurrently (a real client would issue the
+        // DM reads in parallel; inline values complete immediately).
+        let mut handles = Vec::with_capacity(values.len());
+        for v in values {
+            let client = self.client.clone();
+            handles.push(simcore::spawn(async move {
+                client.fetch(&v).await.map(|d| d.len())
+            }));
+        }
+        let mut total = 0usize;
+        for h in handles {
+            total += h.await?;
+        }
+        Ok(total)
+    }
+
+    /// Read the home timeline of `user`; returns media bytes materialized.
+    pub async fn read_home(&self, user: u32) -> DmResult<usize> {
+        self.read(OP_READ_HOME, user).await
+    }
+
+    /// Read the timeline of `user`.
+    pub async fn read_user(&self, user: u32) -> DmResult<usize> {
+        self.read(OP_READ_USER, user).await
+    }
+
+    /// One request drawn from the paper's 60/30/10 mix.
+    pub async fn mixed_request(&self) -> DmResult<()> {
+        let user = self.zipf.sample() as u32;
+        match self.rng.pick_weighted(&MIX) {
+            0 => {
+                self.read_home(user).await?;
+            }
+            1 => {
+                self.read_user(user).await?;
+            }
+            _ => {
+                let composer = self.rng.gen_range(self.users as u64) as u32;
+                self.compose(composer).await?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seed the network with `n_posts` posts so reads have data.
+    pub async fn preload(&self, n_posts: usize) -> DmResult<()> {
+        for i in 0..n_posts {
+            self.compose((i as u32) % self.users).await?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, SystemKind};
+    use simcore::Sim;
+
+    fn deploy(kind: SystemKind) -> (Sim, Rc<RefCell<Option<SocialApp>>>) {
+        let sim = Sim::new();
+        let slot = Rc::new(RefCell::new(None));
+        let s2 = slot.clone();
+        sim.block_on(async move {
+            let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 99);
+            let app = build_social(&cluster, 100, 4096, 1).await;
+            *s2.borrow_mut() = Some(app);
+        });
+        (sim, slot)
+    }
+
+    #[test]
+    fn compose_then_read_user_returns_media() {
+        for kind in SystemKind::ALL {
+            let sim = Sim::new();
+            sim.block_on(async move {
+                let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 99);
+                let app = build_social(&cluster, 100, 4096, 1).await;
+                app.compose(7).await.unwrap();
+                app.compose(7).await.unwrap();
+                let bytes = app.read_user(7).await.unwrap();
+                assert_eq!(bytes, 2 * 4096, "{kind:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn home_timeline_fanout_reaches_followers() {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::DmNet, 2, ClusterConfig::default(), 99);
+            let app = build_social(&cluster, 50, 4096, 1).await;
+            // Compose from everyone; some follower's home timeline fills.
+            app.preload(100).await.unwrap();
+            let mut saw = 0usize;
+            for u in 0..50 {
+                saw += app.read_home(u).await.unwrap();
+            }
+            assert!(saw > 0, "fan-out must populate home timelines");
+        });
+    }
+
+    #[test]
+    fn read_empty_timeline_is_empty() {
+        let (_sim, _slot) = deploy(SystemKind::Erpc);
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::Erpc, 0, ClusterConfig::default(), 99);
+            let app = build_social(&cluster, 10, 4096, 1).await;
+            assert_eq!(app.read_home(3).await.unwrap(), 0);
+            assert_eq!(app.read_user(3).await.unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn mixed_workload_runs_on_all_systems() {
+        for kind in SystemKind::ALL {
+            let sim = Sim::new();
+            sim.block_on(async move {
+                let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 99);
+                let app = build_social(&cluster, 50, 2048, 7).await;
+                app.preload(30).await.unwrap();
+                for _ in 0..30 {
+                    app.mixed_request().await.unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn movers_stay_cold_under_dmrpc() {
+        let run = |kind| {
+            let sim = Sim::new();
+            sim.block_on(async move {
+                let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 99);
+                let app = build_social(&cluster, 50, 16384, 7).await;
+                app.preload(20).await.unwrap();
+                cluster.reset_stats();
+                for u in 0..10 {
+                    app.read_home(u).await.unwrap();
+                }
+                // Server A runs only nginx + proxy (pure movers).
+                app.servers[0].mem.traffic_bytes()
+            })
+        };
+        let erpc = run(SystemKind::Erpc);
+        let dm = run(SystemKind::DmNet);
+        assert!(
+            dm * 10 < erpc.max(1),
+            "mover traffic: eRPC {erpc} vs DmRPC-net {dm}"
+        );
+    }
+
+    #[test]
+    fn post_eviction_releases_refs() {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::DmNet, 1, ClusterConfig::default(), 99);
+            let app = build_social(&cluster, 10, 4096, 1).await;
+            // Overflow the post store.
+            app.preload(POST_CAPACITY + 50).await.unwrap();
+            // The DM server must not have leaked: pages for evicted posts
+            // were released. (One page per 4 KiB post.)
+            let free = cluster.dm_servers[0].with_page_manager(|pm| pm.free_pages());
+            let cap = cluster.dm_servers[0].with_page_manager(|pm| pm.capacity_pages());
+            assert!(
+                cap - free <= POST_CAPACITY + 60,
+                "leaked pages: {} in use",
+                cap - free
+            );
+        });
+    }
+}

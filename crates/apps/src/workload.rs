@@ -1,0 +1,415 @@
+//! Load generators and measurement plumbing shared by every experiment:
+//! closed-loop (fixed concurrency) and open-loop (Poisson arrivals at an
+//! offered rate) drivers with warmup handling and latency histograms.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simcore::{Histogram, SimRng, SimTime};
+
+/// Results of one measured run.
+#[derive(Clone)]
+pub struct Measured {
+    /// Latency of completed operations, in nanoseconds.
+    pub latency: Histogram,
+    /// Operations completed inside the measurement window.
+    pub completed: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Length of the measurement window.
+    pub window: Duration,
+}
+
+impl Measured {
+    /// Completed operations per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.window.as_secs_f64()
+    }
+
+    /// Goodput in bits/second given `bytes` moved per operation.
+    pub fn throughput_gbps(&self, bytes_per_op: u64) -> f64 {
+        self.throughput_rps() * bytes_per_op as f64 * 8.0 / 1e9
+    }
+
+    /// Mean latency in microseconds.
+    pub fn avg_latency_us(&self) -> f64 {
+        self.latency.mean() / 1000.0
+    }
+
+    /// Latency quantile in microseconds.
+    pub fn latency_us(&self, q: f64) -> f64 {
+        self.latency.quantile(q) as f64 / 1000.0
+    }
+}
+
+/// Run `op` from `workers` closed-loop workers for `warmup + window`,
+/// recording latencies only inside the window.
+///
+/// `op(worker, iteration)` returns `Ok(())` or an error (counted).
+pub async fn run_closed_loop<F, Fut, E>(
+    workers: usize,
+    warmup: Duration,
+    window: Duration,
+    op: Rc<F>,
+) -> Measured
+where
+    F: Fn(usize, u64) -> Fut + 'static,
+    Fut: Future<Output = Result<(), E>> + 'static,
+{
+    let start = simcore::now();
+    let measure_from = start + warmup;
+    let end = measure_from + window;
+    let latency = Histogram::new();
+    let completed = Rc::new(Cell::new(0u64));
+    let errors = Rc::new(Cell::new(0u64));
+
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let op = op.clone();
+        let latency = latency.clone();
+        let completed = completed.clone();
+        let errors = errors.clone();
+        handles.push(simcore::spawn(async move {
+            let mut iter = 0u64;
+            loop {
+                let t0 = simcore::now();
+                if t0 >= end {
+                    break;
+                }
+                let r = op(w, iter).await;
+                iter += 1;
+                let t1 = simcore::now();
+                if t0 >= measure_from && t1 <= end {
+                    match r {
+                        Ok(()) => {
+                            latency.record((t1 - t0).as_nanos() as u64);
+                            completed.set(completed.get() + 1);
+                        }
+                        Err(_) => errors.set(errors.get() + 1),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.await;
+    }
+    Measured {
+        latency,
+        completed: completed.get(),
+        errors: errors.get(),
+        window,
+    }
+}
+
+/// Run `op` under an open-loop Poisson arrival process at `rate_rps` for
+/// `warmup + window`. Returns measured stats; in-flight requests at window
+/// end are awaited (their latencies count if they started in the window).
+pub async fn run_open_loop<F, Fut, E>(
+    rate_rps: f64,
+    warmup: Duration,
+    window: Duration,
+    rng: SimRng,
+    op: Rc<F>,
+) -> Measured
+where
+    F: Fn(u64) -> Fut + 'static,
+    Fut: Future<Output = Result<(), E>> + 'static,
+    E: 'static,
+{
+    assert!(rate_rps > 0.0, "open loop needs a positive rate");
+    let start = simcore::now();
+    let measure_from = start + warmup;
+    let end = measure_from + window;
+    let latency = Histogram::new();
+    let completed = Rc::new(Cell::new(0u64));
+    let errors = Rc::new(Cell::new(0u64));
+    let mean_gap_ns = 1e9 / rate_rps;
+
+    let mut handles = Vec::new();
+    let mut seq = 0u64;
+    loop {
+        let gap = rng.gen_exp(mean_gap_ns);
+        simcore::sleep(Duration::from_nanos(gap as u64)).await;
+        let now = simcore::now();
+        if now >= end {
+            break;
+        }
+        let op = op.clone();
+        let latency = latency.clone();
+        let completed = completed.clone();
+        let errors = errors.clone();
+        let in_window = now >= measure_from;
+        let n = seq;
+        seq += 1;
+        handles.push(simcore::spawn(async move {
+            let t0 = simcore::now();
+            let r = op(n).await;
+            let t1 = simcore::now();
+            if in_window {
+                match r {
+                    Ok(()) => {
+                        latency.record((t1 - t0).as_nanos() as u64);
+                        completed.set(completed.get() + 1);
+                    }
+                    Err(_) => errors.set(errors.get() + 1),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.await;
+    }
+    Measured {
+        latency,
+        completed: completed.get(),
+        errors: errors.get(),
+        window,
+    }
+}
+
+/// A per-request trace: one record per completed operation, for offline
+/// analysis (CDFs, time series) beyond the aggregate histogram.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    records: Rc<std::cell::RefCell<Vec<TraceRecord>>>,
+}
+
+/// One completed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Issue time (ns since simulation start).
+    pub start_ns: u64,
+    /// Completion time (ns).
+    pub end_ns: u64,
+    /// Worker / sequence tag assigned by the caller.
+    pub tag: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+impl Recorder {
+    /// New empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Record one operation.
+    pub fn record(&self, start: SimTime, end: SimTime, tag: u64, ok: bool) {
+        self.records.borrow_mut().push(TraceRecord {
+            start_ns: start.nanos(),
+            end_ns: end.nanos(),
+            tag,
+            ok,
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records (sorted by completion time).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut v = self.records.borrow().clone();
+        v.sort_by_key(|r| r.end_ns);
+        v
+    }
+
+    /// Render as CSV (`start_ns,end_ns,latency_ns,tag,ok`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("start_ns,end_ns,latency_ns,tag,ok\n");
+        for r in self.snapshot() {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.start_ns,
+                r.end_ns,
+                r.end_ns - r.start_ns,
+                r.tag,
+                r.ok
+            ));
+        }
+        out
+    }
+
+    /// Write the CSV to `path`.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Throughput over a trailing window ending at the last completion, in
+    /// ops/sec — useful for spotting ramp-up vs steady state.
+    pub fn trailing_rate(&self, window: Duration) -> f64 {
+        let snap = self.snapshot();
+        let Some(last) = snap.last() else { return 0.0 };
+        let cut = last.end_ns.saturating_sub(window.as_nanos() as u64);
+        let n = snap.iter().filter(|r| r.end_ns > cut && r.ok).count();
+        n as f64 / window.as_secs_f64()
+    }
+}
+
+/// Measure a single operation's latency (paper-style unloaded latency).
+pub async fn measure_once<F, Fut, T>(op: F) -> (T, Duration)
+where
+    F: FnOnce() -> Fut,
+    Fut: Future<Output = T>,
+{
+    let t0 = simcore::now();
+    let out = op().await;
+    (out, simcore::now() - t0)
+}
+
+/// Helper: elapsed virtual time since `t0`.
+pub fn since(t0: SimTime) -> Duration {
+    simcore::now() - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    #[test]
+    fn closed_loop_counts_only_window_ops() {
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            run_closed_loop(
+                2,
+                Duration::from_micros(100),
+                Duration::from_micros(1000),
+                Rc::new(|_w, _i| async {
+                    simcore::sleep(Duration::from_micros(10)).await;
+                    Ok::<(), ()>(())
+                }),
+            )
+            .await
+        });
+        // 2 workers, 10us per op, 1000us window => ~200 ops.
+        assert!(
+            (190..=200).contains(&m.completed),
+            "completed {}",
+            m.completed
+        );
+        assert_eq!(m.errors, 0);
+        let tp = m.throughput_rps();
+        assert!((tp - 200_000.0).abs() / 200_000.0 < 0.1, "tp {tp}");
+        // Latency is exactly 10us.
+        assert!((m.avg_latency_us() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn closed_loop_counts_errors() {
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            run_closed_loop(
+                1,
+                Duration::ZERO,
+                Duration::from_micros(100),
+                Rc::new(|_w, i| async move {
+                    simcore::sleep(Duration::from_micros(10)).await;
+                    if i % 2 == 0 {
+                        Err(())
+                    } else {
+                        Ok(())
+                    }
+                }),
+            )
+            .await
+        });
+        assert!(m.errors > 0);
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    fn open_loop_offers_requested_rate() {
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            run_open_loop(
+                100_000.0, // 100k rps
+                Duration::from_millis(1),
+                Duration::from_millis(20),
+                SimRng::new(9),
+                Rc::new(|_n| async {
+                    simcore::sleep(Duration::from_micros(2)).await;
+                    Ok::<(), ()>(())
+                }),
+            )
+            .await
+        });
+        let tp = m.throughput_rps();
+        assert!((tp - 100_000.0).abs() / 100_000.0 < 0.1, "tp {tp}");
+        assert!((m.avg_latency_us() - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn open_loop_latency_grows_when_saturated() {
+        // A single-server queue at 2x its service rate must show queueing.
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            let sem = simcore::sync::Semaphore::new(1);
+            run_open_loop(
+                200_000.0, // offered 200k rps
+                Duration::ZERO,
+                Duration::from_millis(5),
+                SimRng::new(9),
+                Rc::new(move |_n| {
+                    let sem = sem.clone();
+                    async move {
+                        let _p = sem.acquire_one().await;
+                        simcore::sleep(Duration::from_micros(10)).await; // cap 100k
+                        Ok::<(), ()>(())
+                    }
+                }),
+            )
+            .await
+        });
+        assert!(
+            m.avg_latency_us() > 100.0,
+            "saturated queue should back up: {}us",
+            m.avg_latency_us()
+        );
+    }
+
+    #[test]
+    fn recorder_csv_and_rates() {
+        let rec = Recorder::new();
+        assert!(rec.is_empty());
+        rec.record(SimTime::from_micros(5), SimTime::from_micros(9), 1, true);
+        rec.record(SimTime::from_micros(1), SimTime::from_micros(2), 0, true);
+        rec.record(SimTime::from_micros(6), SimTime::from_micros(12), 2, false);
+        assert_eq!(rec.len(), 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap[0].tag, 0, "sorted by completion");
+        let csv = rec.to_csv();
+        assert!(csv.starts_with("start_ns,end_ns,latency_ns,tag,ok\n"));
+        assert!(csv.contains("5000,9000,4000,1,true"));
+        assert!(csv.contains("6000,12000,6000,2,false"));
+        // Trailing window covering only the last two completions (ok only).
+        let rate = rec.trailing_rate(Duration::from_micros(4));
+        assert!((rate - 250_000.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn measure_once_returns_duration() {
+        let sim = Sim::new();
+        let (v, d) = sim.block_on(async {
+            measure_once(|| async {
+                simcore::sleep(Duration::from_micros(7)).await;
+                42
+            })
+            .await
+        });
+        assert_eq!(v, 42);
+        assert_eq!(d, Duration::from_micros(7));
+    }
+}

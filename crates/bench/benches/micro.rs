@@ -1,0 +1,244 @@
+//! Criterion micro-benchmarks for the core data structures and the
+//! simulation engine itself (wall-clock performance of the reproduction,
+//! not virtual-time results — those come from the `fig*` binaries).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dmcommon::va_tree::VaTree;
+use dmcommon::{CopyMode, PAGE_SIZE};
+use dmnet::PageManager;
+use rpclib::wire::{fragment, Header, Kind, Reassembly};
+use simcore::{Histogram, Sim, SimRng};
+use std::hint::black_box;
+
+fn bench_page_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_manager");
+    for &pages in &[1usize, 16, 256] {
+        let bytes = pages * PAGE_SIZE;
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_with_input(BenchmarkId::new("write", pages), &bytes, |b, &bytes| {
+            let mut pm = PageManager::new(1024, CopyMode::CopyOnWrite);
+            let pid = pm.register_process();
+            let va = pm.ralloc(pid, bytes as u64).unwrap();
+            let data = vec![7u8; bytes];
+            b.iter(|| {
+                pm.write(pid, va, black_box(&data)).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("read", pages), &bytes, |b, &bytes| {
+            let mut pm = PageManager::new(1024, CopyMode::CopyOnWrite);
+            let pid = pm.register_process();
+            let va = pm.ralloc(pid, bytes as u64).unwrap();
+            pm.write(pid, va, &vec![7u8; bytes]).unwrap();
+            b.iter(|| black_box(pm.read(pid, va, bytes as u64).unwrap()));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("create_release_ref", pages),
+            &bytes,
+            |b, &bytes| {
+                let mut pm = PageManager::new(1024, CopyMode::CopyOnWrite);
+                let pid = pm.register_process();
+                let va = pm.ralloc(pid, bytes as u64).unwrap();
+                pm.write(pid, va, &vec![7u8; bytes]).unwrap();
+                b.iter(|| {
+                    let (key, _) = pm.create_ref(pid, va, bytes as u64).unwrap();
+                    pm.release_ref(black_box(key)).unwrap();
+                });
+            },
+        );
+    }
+    // One full COW fault: create ref, write one byte, tear down.
+    g.bench_function("cow_fault_4k", |b| {
+        let mut pm = PageManager::new(1024, CopyMode::CopyOnWrite);
+        let pid = pm.register_process();
+        let va = pm.ralloc(pid, PAGE_SIZE as u64).unwrap();
+        pm.write(pid, va, &vec![7u8; PAGE_SIZE]).unwrap();
+        b.iter(|| {
+            let (key, _) = pm.create_ref(pid, va, PAGE_SIZE as u64).unwrap();
+            pm.write(pid, va, black_box(&[1u8])).unwrap(); // COW copy
+            pm.release_ref(key).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_va_tree(c: &mut Criterion) {
+    c.bench_function("va_tree/alloc_free_cycle", |b| {
+        let mut t = VaTree::new();
+        // Pre-populate with fragmentation.
+        let keep: Vec<u64> = (0..100)
+            .map(|_| t.alloc(8192, PAGE_SIZE as u64).unwrap())
+            .collect();
+        for (i, &va) in keep.iter().enumerate() {
+            if i % 2 == 0 {
+                t.free(va).unwrap();
+            }
+        }
+        b.iter(|| {
+            let va = t.alloc(black_box(4096), PAGE_SIZE as u64).unwrap();
+            t.free(va).unwrap();
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record", |b| {
+        let h = Histogram::new();
+        let rng = SimRng::new(1);
+        b.iter(|| h.record(black_box(rng.gen_range(10_000_000))));
+    });
+    c.bench_function("histogram/p999", |b| {
+        let h = Histogram::new();
+        let rng = SimRng::new(1);
+        for _ in 0..100_000 {
+            h.record(rng.gen_range(10_000_000));
+        }
+        b.iter(|| black_box(h.p999()));
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    for &size in &[4096usize, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fragment_reassemble", size),
+            &size,
+            |b, &size| {
+                let payload = Bytes::from(vec![9u8; size]);
+                b.iter(|| {
+                    let pkts = fragment(Kind::Request, 1, 7, black_box(&payload), 4096);
+                    let mut it = pkts.iter();
+                    let (h0, f0) = Header::decode(it.next().unwrap()).unwrap();
+                    let mut r = Reassembly::new(&h0, f0);
+                    for p in it {
+                        let (h, f) = Header::decode(p).unwrap();
+                        r.offer(&h, f);
+                    }
+                    black_box(r.assemble())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_simulation_engine(c: &mut Criterion) {
+    // How fast does the DES engine execute events? (events/sec wall clock)
+    c.bench_function("simcore/10k_timer_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..100u64 {
+                sim.spawn(async move {
+                    for j in 0..100u64 {
+                        simcore::sleep(std::time::Duration::from_nanos(i * 7 + j + 1)).await;
+                    }
+                });
+            }
+            sim.run();
+            black_box(sim.poll_count())
+        });
+    });
+    // A full small RPC echo through the simulated fabric.
+    c.bench_function("rpc/echo_roundtrip_sim", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let out = sim.block_on(async {
+                let net = simnet::Network::new(simnet::FabricConfig::default(), 1);
+                let a = net.add_node("a", simnet::NicConfig::default());
+                let bn = net.add_node("b", simnet::NicConfig::default());
+                let server = rpclib::RpcBuilder::new(&net, bn, 10).build();
+                server.register(1, |ctx| async move { ctx.payload });
+                let client = rpclib::RpcBuilder::new(&net, a, 10).build();
+                client
+                    .call(server.addr(), 1, Bytes::from_static(b"ping"))
+                    .await
+                    .unwrap()
+            });
+            black_box(out)
+        });
+    });
+}
+
+fn bench_gfam(c: &mut Criterion) {
+    use dmcxl::GFam;
+    use memsim::ModelParams;
+    c.bench_function("gfam/rc_inc_dec", |b| {
+        let g = GFam::new(16, ModelParams::new());
+        g.rc_init(3);
+        b.iter(|| {
+            g.rc_inc(black_box(3));
+            g.rc_dec(3);
+        });
+    });
+    c.bench_function("gfam/copy_page", |b| {
+        let g = GFam::new(16, ModelParams::new());
+        g.write_page(0, 0, &[7u8; PAGE_SIZE]);
+        g.write_page(1, 0, &[0u8; PAGE_SIZE]);
+        b.iter(|| g.copy_page(black_box(0), 1));
+    });
+}
+
+fn bench_value_codec(c: &mut Criterion) {
+    use dmcommon::{DmServerId, Ref};
+    use dmrpc::Value;
+    c.bench_function("value/encode_decode_byref", |b| {
+        let v = Value::ByRef(Ref::Net {
+            server: DmServerId(1),
+            key: 42,
+            len: 1 << 20,
+        });
+        b.iter(|| {
+            let enc = black_box(&v).encode();
+            black_box(Value::decode(&enc).unwrap())
+        });
+    });
+    c.bench_function("value/encode_decode_cxl_256pages", |b| {
+        let v = Value::ByRef(Ref::Cxl {
+            len: 1 << 20,
+            pages: (0..256).collect(),
+        });
+        b.iter(|| {
+            let enc = black_box(&v).encode();
+            black_box(Value::decode(&enc).unwrap())
+        });
+    });
+}
+
+fn bench_dm_roundtrip_sim(c: &mut Criterion) {
+    // Wall-clock cost of a full simulated DM publish + fetch (how expensive
+    // the reproduction itself is to run).
+    c.bench_function("dm/put_read_ref_4k_sim", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.block_on(async {
+                let net = simnet::Network::new(simnet::FabricConfig::default(), 1);
+                let dm_node = net.add_node("dm", simnet::NicConfig::default());
+                let c_node = net.add_node("c", simnet::NicConfig::default());
+                let mem = memsim::NodeMemory::with_defaults("dm", memsim::ModelParams::new());
+                let server =
+                    dmnet::DmServer::start(&net, dm_node, mem, dmnet::DmServerConfig::default());
+                let rpc = rpclib::RpcBuilder::new(&net, c_node, 100).build();
+                let dm = dmnet::DmNetClient::connect(rpc, vec![server.addr()])
+                    .await
+                    .unwrap();
+                let r = dm.put_ref(&Bytes::from(vec![7u8; 4096])).await.unwrap();
+                let back = dm.read_ref(&r, 0, 4096).await.unwrap();
+                black_box(back.len())
+            })
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_page_manager,
+    bench_va_tree,
+    bench_histogram,
+    bench_wire,
+    bench_simulation_engine,
+    bench_gfam,
+    bench_value_codec,
+    bench_dm_roundtrip_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs the complete evaluation: every table and figure plus the extra
+//! ablations. CSVs land in `results/`.
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("# DmRPC reproduction — full evaluation");
+    bench::table1::run();
+    bench::fig5::run();
+    bench::fig6::run();
+    bench::fig7::run();
+    bench::fig8::run();
+    bench::fig10::run();
+    bench::fig11::run();
+    bench::fig12::run();
+    bench::extras::run();
+    println!(
+        "\nall experiments done in {:.1}s wall time",
+        t0.elapsed().as_secs_f64()
+    );
+}

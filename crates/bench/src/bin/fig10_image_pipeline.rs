@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 results. See bench::fig10.
+fn main() {
+    bench::fig10::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 results. See bench::fig11.
+fn main() {
+    bench::fig11::run();
+}

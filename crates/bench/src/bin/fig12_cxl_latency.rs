@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 results. See bench::fig12.
+fn main() {
+    bench::fig12::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 results. See bench::fig5.
+fn main() {
+    bench::fig5::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 results. See bench::fig6.
+fn main() {
+    bench::fig6::run();
+}

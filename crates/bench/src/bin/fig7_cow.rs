@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 results. See bench::fig7.
+fn main() {
+    bench::fig7::run();
+}

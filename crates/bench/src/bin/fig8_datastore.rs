@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig8 results. See bench::fig8.
+fn main() {
+    bench::fig8::run();
+}

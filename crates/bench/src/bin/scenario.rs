@@ -1,0 +1,287 @@
+//! `scenario` — run any paper workload under any system with one command.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario -- \
+//!     --system dmnet --app chain --size 4096 --workers 16 --ms 5 --param 4
+//! ```
+//!
+//! Options:
+//!   --system  erpc | dmnet | dmcxl              (default dmnet)
+//!   --app     chain | lb | image | social | share | shuffle | block
+//!   --size    payload bytes                      (default 4096)
+//!   --workers closed-loop concurrency            (default 16)
+//!   --ms      measurement window, virtual ms     (default 5)
+//!   --param   app-specific: chain length, LB workers, write %, shuffle M=R,
+//!             social offered krps (open loop)    (default app-specific)
+//!   --seed    RNG seed                           (default 1)
+//!   --cxl-ns  CXL latency override in ns
+//!   --copy    use the eager `-copy` ablation instead of COW
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::workload::{run_closed_loop, run_open_loop, Measured};
+use bytes::Bytes;
+use dmcommon::CopyMode;
+use simcore::{Sim, SimRng};
+
+struct Args {
+    system: SystemKind,
+    app: String,
+    size: usize,
+    workers: usize,
+    window: Duration,
+    param: Option<u64>,
+    seed: u64,
+    cxl_ns: Option<u64>,
+    copy: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        system: SystemKind::DmNet,
+        app: "chain".to_string(),
+        size: 4096,
+        workers: 16,
+        window: Duration::from_millis(5),
+        param: None,
+        seed: 1,
+        cxl_ns: None,
+        copy: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: scenario [--system erpc|dmnet|dmcxl] [--app chain|lb|image|social|share|shuffle|block] \
+             [--size N] [--workers N] [--ms N] [--param N] [--seed N] [--cxl-ns N] [--copy]"
+        );
+        std::process::exit(2);
+    };
+    while i < argv.len() {
+        let need = |i: usize| argv.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match argv[i].as_str() {
+            "--system" => {
+                args.system = match need(i).as_str() {
+                    "erpc" => SystemKind::Erpc,
+                    "dmnet" => SystemKind::DmNet,
+                    "dmcxl" => SystemKind::DmCxl,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--app" => {
+                args.app = need(i);
+                i += 2;
+            }
+            "--size" => {
+                args.size = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ms" => {
+                args.window = Duration::from_millis(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--param" => {
+                args.param = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cxl-ns" => {
+                args.cxl_ns = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--copy" => {
+                args.copy = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn report(label: &str, size: usize, m: &Measured) {
+    println!("\nscenario: {label}");
+    println!("  completed        {}", m.completed);
+    println!("  errors           {}", m.errors);
+    println!("  throughput       {:.1} krps", m.throughput_rps() / 1e3);
+    println!(
+        "  goodput          {:.2} Gbps",
+        m.throughput_gbps(size as u64)
+    );
+    println!("  latency avg      {:.1} us", m.avg_latency_us());
+    println!("  latency p50      {:.1} us", m.latency_us(0.50));
+    println!("  latency p99      {:.1} us", m.latency_us(0.99));
+    println!("  latency p99.9    {:.1} us", m.latency_us(0.999));
+}
+
+fn main() {
+    let a = parse_args();
+    let label = format!(
+        "{} / {} / {} B / {} workers / {:?} window",
+        a.system.label(),
+        a.app,
+        a.size,
+        a.workers,
+        a.window
+    );
+    let sim = Sim::new();
+    let config = ClusterConfig {
+        copy_mode: if a.copy {
+            CopyMode::Eager
+        } else {
+            CopyMode::CopyOnWrite
+        },
+        ..Default::default()
+    };
+    let m: Measured = sim.block_on(async move {
+        let cluster = Cluster::new(a.system, 2, config, a.seed);
+        if let Some(ns) = a.cxl_ns {
+            cluster.params.set_cxl_latency(Duration::from_nanos(ns));
+        }
+        let warmup = Duration::from_millis(1);
+        match a.app.as_str() {
+            "chain" => {
+                let len = a.param.unwrap_or(4) as usize;
+                let app = Rc::new(apps::chain::build_chain(&cluster, len).await);
+                let payload = Bytes::from(vec![7u8; a.size]);
+                app.request(&payload).await.expect("warmup");
+                run_closed_loop(
+                    a.workers,
+                    warmup,
+                    a.window,
+                    Rc::new(move |_w, _i| {
+                        let app = app.clone();
+                        let payload = payload.clone();
+                        async move { app.request(&payload).await.map(|_| ()) }
+                    }),
+                )
+                .await
+            }
+            "lb" => {
+                let workers = a.param.unwrap_or(3) as usize;
+                let app = Rc::new(apps::load_balancer::build_lb(&cluster, 3, workers).await);
+                let payload = Bytes::from(vec![7u8; a.size]);
+                app.request(0, &payload).await.expect("warmup");
+                run_closed_loop(
+                    a.workers,
+                    warmup,
+                    a.window,
+                    Rc::new(move |w, _i| {
+                        let app = app.clone();
+                        let payload = payload.clone();
+                        async move { app.request(w, &payload).await }
+                    }),
+                )
+                .await
+            }
+            "image" => {
+                let app = Rc::new(apps::image_pipeline::build_pipeline(&cluster).await);
+                let image = Bytes::from(vec![7u8; a.size]);
+                app.request(apps::image_pipeline::OP_TRANSCODE, &image)
+                    .await
+                    .expect("warmup");
+                run_closed_loop(
+                    a.workers,
+                    warmup,
+                    a.window,
+                    Rc::new(move |w: usize, _i| {
+                        let app = app.clone();
+                        let image = image.clone();
+                        let op = if w.is_multiple_of(2) {
+                            apps::image_pipeline::OP_TRANSCODE
+                        } else {
+                            apps::image_pipeline::OP_COMPRESS
+                        };
+                        async move { app.request(op, &image).await.map(|_| ()) }
+                    }),
+                )
+                .await
+            }
+            "social" => {
+                let rate = a.param.unwrap_or(100) as f64 * 1e3;
+                let app = Rc::new(apps::social::build_social(&cluster, 500, a.size, a.seed).await);
+                app.preload(200).await.expect("preload");
+                run_open_loop(
+                    rate,
+                    warmup,
+                    a.window,
+                    SimRng::new(a.seed),
+                    Rc::new(move |_n| {
+                        let app = app.clone();
+                        async move { app.mixed_request().await }
+                    }),
+                )
+                .await
+            }
+            "share" => {
+                let pct = a.param.unwrap_or(20) as u8;
+                let app = Rc::new(apps::sharebench::build_sharebench(&cluster).await);
+                let block = Bytes::from(vec![7u8; a.size]);
+                app.request(&block, pct).await.expect("warmup");
+                run_closed_loop(
+                    a.workers,
+                    warmup,
+                    a.window,
+                    Rc::new(move |_w, _i| {
+                        let app = app.clone();
+                        let block = block.clone();
+                        async move { app.request(&block, pct).await }
+                    }),
+                )
+                .await
+            }
+            "shuffle" => {
+                let mr = a.param.unwrap_or(4) as usize;
+                let app = Rc::new(apps::shuffle::build_shuffle(&cluster, mr, mr).await);
+                app.map_phase(a.size, a.seed).await.expect("map phase");
+                run_closed_loop(
+                    a.workers.min(4),
+                    warmup,
+                    a.window,
+                    Rc::new(move |_w, _i| {
+                        let app = app.clone();
+                        async move { app.reduce_phase().await.map(|_| ()) }
+                    }),
+                )
+                .await
+            }
+            "block" => {
+                let replicas = a.param.unwrap_or(2) as usize;
+                let app = Rc::new(apps::block_storage::build_block_store(&cluster, replicas).await);
+                app.write_block(0, &Bytes::from(vec![1u8; a.size]))
+                    .await
+                    .expect("warmup");
+                let size = a.size;
+                run_closed_loop(
+                    a.workers,
+                    warmup,
+                    a.window,
+                    Rc::new(move |w, i| {
+                        let app = app.clone();
+                        async move {
+                            let id = (w as u64) << 32 | i;
+                            let block = Bytes::from(vec![(id % 251) as u8; size]);
+                            app.write_block(id, &block).await
+                        }
+                    }),
+                )
+                .await
+            }
+            _ => {
+                eprintln!("unknown app {:?}", a.app);
+                std::process::exit(2);
+            }
+        }
+    });
+    report(&label, a.size, &m);
+}

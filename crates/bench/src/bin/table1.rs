@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 results. See bench::table1.
+fn main() {
+    bench::table1::run();
+}

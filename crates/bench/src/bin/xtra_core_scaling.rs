@@ -1,0 +1,4 @@
+//! Core-scaling ablation (paper §VI-E linear-scaling claim).
+fn main() {
+    bench::extras::core_scaling();
+}

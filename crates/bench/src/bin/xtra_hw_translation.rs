@@ -1,0 +1,5 @@
+//! Hardware (MMU-direct) vs software address translation (paper §V-A2
+//! future work, implemented as an option).
+fn main() {
+    bench::extras::hw_translation();
+}

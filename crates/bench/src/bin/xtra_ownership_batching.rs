@@ -1,0 +1,4 @@
+//! DmRPC-CXL page-ownership batching ablation (paper §V-B1).
+fn main() {
+    bench::extras::ownership_batching();
+}

@@ -1,0 +1,4 @@
+//! Size-aware transfer crossover ablation (paper §IV-B).
+fn main() {
+    bench::extras::size_threshold();
+}

@@ -1,0 +1,4 @@
+//! Reproduces §V-A2's translation-overhead measurement.
+fn main() {
+    bench::extras::translation_overhead();
+}

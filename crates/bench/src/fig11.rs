@@ -1,0 +1,86 @@
+//! Fig. 11 — DeathStarBench social network: average, p99 and p99.9 latency
+//! versus offered request rate, eRPC vs DmRPC-net, mixed 60/30/10 workload.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::social::build_social;
+use apps::workload::run_open_loop;
+use simcore::{Sim, SimRng};
+
+use crate::report::{f2, render_bars, Table};
+
+/// Offered rates swept (requests/second).
+pub const RATES: [f64; 9] = [
+    50e3, 100e3, 200e3, 300e3, 400e3, 500e3, 700e3, 1000e3, 1400e3,
+];
+
+/// Media payload per post.
+pub const MEDIA: usize = 8192;
+
+/// One point: measured stats at an offered rate.
+pub fn run_point(kind: SystemKind, rate: f64) -> apps::Measured {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 11);
+        let app = Rc::new(build_social(&cluster, 500, MEDIA, 3).await);
+        app.preload(200).await.expect("preload");
+        let a2 = app.clone();
+        run_open_loop(
+            rate,
+            Duration::from_millis(1),
+            Duration::from_millis(8),
+            SimRng::new(rate as u64 ^ 0xBEEF),
+            Rc::new(move |_n| {
+                let app = a2.clone();
+                async move { app.mixed_request().await }
+            }),
+        )
+        .await
+    })
+}
+
+/// Run the experiment and emit `results/fig11_deathstarbench.csv`.
+pub fn run() {
+    let mut t = Table::new(
+        "fig11_deathstarbench",
+        &[
+            "offered_krps",
+            "system",
+            "achieved_krps",
+            "avg_us",
+            "p99_us",
+            "p999_us",
+        ],
+    );
+    let mut lat_series: Vec<(&str, Vec<f64>)> = [SystemKind::Erpc, SystemKind::DmNet]
+        .iter()
+        .map(|k| (k.label(), Vec::new()))
+        .collect();
+    let mut labels = Vec::new();
+    for rate in RATES {
+        labels.push(format!("{}k", rate as u64 / 1000));
+        for (i, kind) in [SystemKind::Erpc, SystemKind::DmNet]
+            .into_iter()
+            .enumerate()
+        {
+            let m = run_point(kind, rate);
+            lat_series[i].1.push(m.avg_latency_us());
+            t.row(&[
+                &f2(rate / 1e3),
+                &kind.label(),
+                &f2(m.throughput_rps() / 1e3),
+                &f2(m.avg_latency_us()),
+                &f2(m.latency_us(0.99)),
+                &f2(m.latency_us(0.999)),
+            ]);
+        }
+    }
+    t.finish();
+    render_bars(
+        "Fig. 11 avg latency (us) vs offered rate",
+        &labels,
+        &lat_series,
+    );
+}

@@ -1,0 +1,95 @@
+//! Fig. 12 — DmRPC-CXL normalized throughput under different CXL memory
+//! access latencies: (a) the Fig. 8 micro-benchmark, (b) the cloud image
+//! processing application.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::image_pipeline::{build_pipeline, OP_TRANSCODE};
+use apps::sharebench::build_sharebench;
+use apps::workload::run_closed_loop;
+use bytes::Bytes;
+use simcore::Sim;
+
+use crate::report::{f3, Table};
+
+/// Memory latencies swept (ns). 265 ns is the paper's operating point.
+pub const LATENCIES_NS: [u64; 5] = [75, 165, 265, 365, 400];
+
+fn micro_point(latency_ns: u64) -> f64 {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(SystemKind::DmCxl, 1, ClusterConfig::default(), 12);
+        cluster
+            .params
+            .set_cxl_latency(Duration::from_nanos(latency_ns));
+        let app = Rc::new(build_sharebench(&cluster).await);
+        let block = Bytes::from(vec![1u8; 32 * 1024]);
+        app.request(&block, 20).await.expect("warmup");
+        let m = run_closed_loop(
+            1,
+            Duration::from_micros(100),
+            Duration::from_millis(5),
+            Rc::new(move |_w, _i| {
+                let app = app.clone();
+                let block = block.clone();
+                async move { app.request(&block, 20).await }
+            }),
+        )
+        .await;
+        m.throughput_rps()
+    })
+}
+
+fn app_point(latency_ns: u64) -> f64 {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(SystemKind::DmCxl, 1, ClusterConfig::default(), 12);
+        cluster
+            .params
+            .set_cxl_latency(Duration::from_nanos(latency_ns));
+        let app = Rc::new(build_pipeline(&cluster).await);
+        let image = Bytes::from(vec![9u8; 16384]);
+        app.request(OP_TRANSCODE, &image).await.expect("warmup");
+        let m = run_closed_loop(
+            16,
+            Duration::from_micros(300),
+            Duration::from_millis(4),
+            Rc::new(move |_w, _i| {
+                let app = app.clone();
+                let image = image.clone();
+                async move { app.request(OP_TRANSCODE, &image).await.map(|_| ()) }
+            }),
+        )
+        .await;
+        m.throughput_rps()
+    })
+}
+
+/// Run the experiment and emit `results/fig12_cxl_latency.csv`.
+pub fn run() {
+    let mut t = Table::new(
+        "fig12_cxl_latency",
+        &[
+            "mem_latency_ns",
+            "micro_krps",
+            "micro_normalized",
+            "app_krps",
+            "app_normalized",
+        ],
+    );
+    let micro: Vec<f64> = LATENCIES_NS.iter().map(|&l| micro_point(l)).collect();
+    let app: Vec<f64> = LATENCIES_NS.iter().map(|&l| app_point(l)).collect();
+    let (m0, a0) = (micro[0].max(1e-9), app[0].max(1e-9));
+    for (i, &l) in LATENCIES_NS.iter().enumerate() {
+        t.row(&[
+            &l,
+            &f3(micro[i] / 1e3),
+            &f3(micro[i] / m0),
+            &f3(app[i] / 1e3),
+            &f3(app[i] / a0),
+        ]);
+    }
+    t.finish();
+}

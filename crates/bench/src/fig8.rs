@@ -1,0 +1,85 @@
+//! Fig. 8 — comparison with Ray/Spark: throughput (a) and latency (b)
+//! versus the fraction of the shared 32 KB block the callee writes.
+//! Single-threaded, as in the paper.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::sharebench::{build_sharebench, build_store_sharebench, StoreKind};
+use apps::workload::run_closed_loop;
+use bytes::Bytes;
+use simcore::Sim;
+
+use crate::report::{f2, Table};
+
+/// Block size (paper: 32 KB raw data blocks).
+pub const BLOCK: usize = 32 * 1024;
+
+/// Write percentages swept.
+pub const WRITE_PCTS: [u8; 6] = [0, 20, 40, 60, 80, 100];
+
+/// One DmRPC point: (throughput krps, avg latency us).
+pub fn run_dm_point(kind: SystemKind, write_pct: u8, block: usize) -> (f64, f64) {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(kind, 1, ClusterConfig::default(), 8);
+        let app = Rc::new(build_sharebench(&cluster).await);
+        let data = Bytes::from(vec![1u8; block]);
+        app.request(&data, write_pct).await.expect("warmup");
+        let m = run_closed_loop(
+            1, // single thread, as in the paper
+            Duration::from_micros(100),
+            Duration::from_millis(5),
+            Rc::new(move |_w, _i| {
+                let app = app.clone();
+                let data = data.clone();
+                async move { app.request(&data, write_pct).await }
+            }),
+        )
+        .await;
+        (m.throughput_rps() / 1e3, m.avg_latency_us())
+    })
+}
+
+/// One store point: (throughput krps, avg latency us).
+pub fn run_store_point(kind: StoreKind, write_pct: u8, block: usize) -> (f64, f64) {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(SystemKind::Erpc, 0, ClusterConfig::default(), 8);
+        let app = Rc::new(build_store_sharebench(&cluster, kind).await);
+        let data = Bytes::from(vec![1u8; block]);
+        app.request(&data, write_pct).await.expect("warmup");
+        let m = run_closed_loop(
+            1,
+            Duration::from_micros(100),
+            Duration::from_millis(25), // store ops are ~1 ms each
+            Rc::new(move |_w, _i| {
+                let app = app.clone();
+                let data = data.clone();
+                async move { app.request(&data, write_pct).await }
+            }),
+        )
+        .await;
+        (m.throughput_rps() / 1e3, m.avg_latency_us())
+    })
+}
+
+/// Run the experiment and emit `results/fig8_datastore.csv`.
+pub fn run() {
+    let mut t = Table::new(
+        "fig8_datastore",
+        &["write_pct", "system", "throughput_krps", "avg_latency_us"],
+    );
+    for pct in WRITE_PCTS {
+        for kind in [SystemKind::DmNet, SystemKind::DmCxl] {
+            let (tput, lat) = run_dm_point(kind, pct, BLOCK);
+            t.row(&[&pct, &kind.label(), &f2(tput), &f2(lat)]);
+        }
+        for kind in [StoreKind::Ray, StoreKind::Spark] {
+            let (tput, lat) = run_store_point(kind, pct, BLOCK);
+            t.row(&[&pct, &kind.label(), &f2(tput), &f2(lat)]);
+        }
+    }
+    t.finish();
+}

@@ -1,0 +1,30 @@
+//! # bench — harnesses regenerating every table and figure of the paper
+//!
+//! Each experiment is a library module with a thin binary wrapper in
+//! `src/bin/`, so `all_experiments` can run the full evaluation. Results
+//! are printed as aligned tables and written to `results/*.csv`.
+//!
+//! | module / binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I (qualitative + measured backing) |
+//! | `fig5` | Fig. 5a/b nested RPC calls |
+//! | `fig6` | Fig. 6a/b application-layer load balancer |
+//! | `fig7` | Fig. 7a/b/c copy-on-write vs unconditional copy |
+//! | `fig8` | Fig. 8a/b vs Ray/Spark |
+//! | `fig10` | Fig. 10a/b 7-tier cloud image processing |
+//! | `fig11` | Fig. 11 DeathStarBench |
+//! | `fig12` | Fig. 12a/b CXL latency sensitivity |
+//! | `extras` | §V-A2 translation overhead, size-threshold and ownership-batching ablations |
+
+#![warn(missing_docs)]
+
+pub mod extras;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+pub mod table1;

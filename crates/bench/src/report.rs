@@ -1,0 +1,186 @@
+//! Result tables: aligned console output plus CSV files under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple result table.
+pub struct Table {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table called `name` (also the CSV file stem) with columns.
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row/header mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Print to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.name);
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        line(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<String>>(),
+        );
+        for r in &self.rows {
+            line(r);
+        }
+    }
+
+    /// Write `results/<name>.csv`.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+
+    /// Print and write, logging the CSV path.
+    pub fn finish(&self) {
+        self.print();
+        match self.write_csv() {
+            Ok(p) => println!("  -> {}", p.display()),
+            Err(e) => eprintln!("  (csv write failed: {e})"),
+        }
+    }
+}
+
+/// The `results/` directory (repo root when run via cargo, else cwd).
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Human-friendly size label (4096 -> "4K").
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1024 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Render grouped horizontal bars: one group per label, one bar per series.
+/// Bars scale to the global maximum. A lightweight stand-in for the paper's
+/// figures when eyeballing results in a terminal.
+pub fn render_bars(title: &str, labels: &[String], series: &[(&str, Vec<f64>)]) {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    const WIDTH: usize = 46;
+    println!(
+        "
+-- {title} --"
+    );
+    for (i, label) in labels.iter().enumerate() {
+        for (j, (name, vals)) in series.iter().enumerate() {
+            let v = vals.get(i).copied().unwrap_or(0.0);
+            let n = ((v / max) * WIDTH as f64).round() as usize;
+            let group = if j == 0 { label.as_str() } else { "" };
+            println!(
+                "  {group:>label_w$}  {name:<name_w$} |{}{} {v:.1}",
+                "#".repeat(n),
+                " ".repeat(WIDTH - n.min(WIDTH)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new("unit_test_table", &["a", "bbbb"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &f2(1.5)]);
+        t.print();
+        let p = t.write_csv().unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.starts_with("a,bbbb\n1,x\n22,1.50\n"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn bars_render_without_panicking() {
+        render_bars(
+            "demo",
+            &["4K".into(), "8K".into()],
+            &[("eRPC", vec![10.0, 20.0]), ("DmRPC", vec![30.0, 40.0])],
+        );
+        // Degenerate inputs.
+        render_bars("empty", &[], &[]);
+        render_bars("zeros", &["x".into()], &[("s", vec![0.0])]);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(512), "512B");
+        assert_eq!(size_label(4096), "4K");
+        assert_eq!(size_label(1 << 20), "1M");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&[&1, &2]);
+    }
+}

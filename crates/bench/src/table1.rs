@@ -1,0 +1,80 @@
+//! Table I — comparison of data-sharing methods. The qualitative columns
+//! come from the paper; the "measured_latency_us" column backs them with a
+//! 32 KB single-thread caller→callee share measurement from this
+//! reproduction (the Fig. 8 micro-benchmark at 20% writes).
+
+use apps::cluster::SystemKind;
+use apps::sharebench::StoreKind;
+
+use crate::fig8::{run_dm_point, run_store_point};
+use crate::report::{f2, Table};
+
+/// Run the table and emit `results/table1_sharing_methods.csv`.
+pub fn run() {
+    // Traditional RPC = eRPC pass-by-value over the same chain: model it as
+    // the DmRPC-net deployment with pass-by-value semantics. We reuse the
+    // chain app for an apples-to-apples "move 32 KB to the callee" number.
+    let erpc_lat = {
+        use apps::chain::build_chain;
+        use apps::cluster::{Cluster, ClusterConfig};
+        use bytes::Bytes;
+        use simcore::Sim;
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::Erpc, 0, ClusterConfig::default(), 1);
+            let app = build_chain(&cluster, 1).await;
+            let payload = Bytes::from(vec![1u8; 32 * 1024]);
+            app.request(&payload).await.expect("warmup");
+            let t0 = simcore::now();
+            app.request(&payload).await.expect("request");
+            (simcore::now() - t0).as_nanos() as f64 / 1e3
+        })
+    };
+    let (_, dmnet_lat) = run_dm_point(SystemKind::DmNet, 20, 32 * 1024);
+    let (_, ray_lat) = run_store_point(StoreKind::Ray, 20, 32 * 1024);
+
+    let mut t = Table::new(
+        "table1_sharing_methods",
+        &[
+            "approach",
+            "sharing_semantics",
+            "performance",
+            "mutability",
+            "programming",
+            "measured_latency_us",
+        ],
+    );
+    t.row(&[
+        &"Traditional RPC (eRPC)",
+        &"pass-by-value",
+        &"low",
+        &"mutable",
+        &"simple",
+        &f2(erpc_lat),
+    ]);
+    t.row(&[
+        &"DSM model",
+        &"pass-by-reference",
+        &"high",
+        &"mutable",
+        &"complex",
+        &"n/a (not adoptable for RPC)",
+    ]);
+    t.row(&[
+        &"Distributed in-memory store (Ray)",
+        &"pass-by-reference",
+        &"low",
+        &"immutable",
+        &"simple",
+        &f2(ray_lat),
+    ]);
+    t.row(&[
+        &"DmRPC (ours)",
+        &"pass-by-reference",
+        &"high",
+        &"mutable",
+        &"simple",
+        &f2(dmnet_lat),
+    ]);
+    t.finish();
+}

@@ -1,0 +1,156 @@
+//! Edge-case tests for the dmrpc public API: mismatched backends, double
+//! release, zero-sized values, threshold boundaries, and DmAddr arithmetic.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dmcxl::{CxlFabric, CxlHostConfig};
+use dmnet::{start_pool, DmNetClient, DmServerConfig};
+use dmrpc::{DmAddr, DmError, DmHandle, DmRpc, Value, DEFAULT_THRESHOLD};
+use memsim::ModelParams;
+use rpclib::RpcBuilder;
+use simcore::Sim;
+use simnet::{FabricConfig, Network, NicConfig};
+
+fn net_rig() -> (Sim, Network) {
+    (Sim::new(), Network::new(FabricConfig::default(), 7))
+}
+
+#[test]
+fn mismatched_backend_refs_rejected() {
+    let (sim, net) = net_rig();
+    sim.block_on(async move {
+        let dm_node = net.add_node("dm", NicConfig::default());
+        let c_node = net.add_node("c", NicConfig::default());
+        let coord = net.add_node("coord", NicConfig::default());
+        let params = ModelParams::new();
+        let pool = start_pool(&net, &[dm_node], &params, DmServerConfig::default());
+        let fabric = CxlFabric::new(&net, coord, 256, params, CxlHostConfig::default());
+
+        let rpc = RpcBuilder::new(&net, c_node, 100).build();
+        let net_dm = DmHandle::Net(Rc::new(
+            DmNetClient::connect(rpc.clone(), vec![pool[0].addr()])
+                .await
+                .unwrap(),
+        ));
+        let cxl_dm = DmHandle::Cxl(fabric.new_host(rpc));
+
+        // A ref minted by one backend must be rejected by the other.
+        let net_ref = net_dm.put(&Bytes::from(vec![1u8; 8192])).await.unwrap();
+        let cxl_ref = cxl_dm.put(&Bytes::from(vec![2u8; 8192])).await.unwrap();
+        assert_eq!(
+            cxl_dm.map_ref(&net_ref).await.unwrap_err(),
+            DmError::InvalidRef
+        );
+        assert_eq!(
+            net_dm.map_ref(&cxl_ref).await.unwrap_err(),
+            DmError::InvalidRef
+        );
+        // Cross-backend addresses too.
+        let net_addr = net_dm.alloc(4096).await.unwrap();
+        assert!(matches!(net_addr, DmAddr::Net(_)));
+        assert_eq!(
+            cxl_dm.read(net_addr, 1).await.unwrap_err(),
+            DmError::InvalidAddress
+        );
+        net_dm.release_ref(&net_ref).await.unwrap();
+        cxl_dm.release_ref(&cxl_ref).await.unwrap();
+    });
+}
+
+#[test]
+fn double_release_is_an_error_not_corruption() {
+    let (sim, net) = net_rig();
+    sim.block_on(async move {
+        let dm_node = net.add_node("dm", NicConfig::default());
+        let c_node = net.add_node("c", NicConfig::default());
+        let params = ModelParams::new();
+        let pool = start_pool(&net, &[dm_node], &params, DmServerConfig::default());
+        let rpc = RpcBuilder::new(&net, c_node, 100).build();
+        let dm = DmHandle::Net(Rc::new(
+            DmNetClient::connect(rpc, vec![pool[0].addr()])
+                .await
+                .unwrap(),
+        ));
+        let r = dm.put(&Bytes::from(vec![1u8; 8192])).await.unwrap();
+        dm.release_ref(&r).await.unwrap();
+        assert_eq!(dm.release_ref(&r).await.unwrap_err(), DmError::InvalidRef);
+        // Reading a released ref is an error, never stale data.
+        assert_eq!(dm.get_all(&r).await.unwrap_err(), DmError::InvalidRef);
+        pool[0].with_page_manager(|pm| pm.check_invariants());
+    });
+}
+
+#[test]
+fn threshold_boundary_is_exact() {
+    let (sim, net) = net_rig();
+    sim.block_on(async move {
+        let dm_node = net.add_node("dm", NicConfig::default());
+        let c_node = net.add_node("c", NicConfig::default());
+        let params = ModelParams::new();
+        let pool = start_pool(&net, &[dm_node], &params, DmServerConfig::default());
+        let rpc = RpcBuilder::new(&net, c_node, 100).build();
+        let dm = DmNetClient::connect(rpc.clone(), vec![pool[0].addr()])
+            .await
+            .unwrap();
+        let ep = DmRpc::new(rpc, DmHandle::Net(Rc::new(dm)));
+        let just_under = ep
+            .make_value(Bytes::from(vec![1u8; DEFAULT_THRESHOLD as usize - 1]))
+            .await
+            .unwrap();
+        let exactly = ep
+            .make_value(Bytes::from(vec![1u8; DEFAULT_THRESHOLD as usize]))
+            .await
+            .unwrap();
+        assert!(!just_under.is_by_ref(), "size < threshold stays inline");
+        assert!(exactly.is_by_ref(), "size == threshold goes by ref");
+        ep.release(&exactly).await.unwrap();
+    });
+}
+
+#[test]
+fn empty_value_stays_inline_and_roundtrips() {
+    let (sim, net) = net_rig();
+    sim.block_on(async move {
+        let c_node = net.add_node("c", NicConfig::default());
+        let ep = DmRpc::baseline(RpcBuilder::new(&net, c_node, 100).build());
+        let v = ep.make_value(Bytes::new()).await.unwrap();
+        assert!(v.is_empty());
+        assert_eq!(ep.fetch(&v).await.unwrap(), Bytes::new());
+        assert_eq!(ep.overwrite_fraction(&v, 1.0).await.unwrap(), 0);
+    });
+}
+
+#[test]
+fn dm_addr_offset_arithmetic() {
+    let net_addr = DmAddr::Net(dmcommon::RemoteAddr {
+        server: dmcommon::DmServerId(0),
+        pid: dmcommon::GlobalPid(1),
+        va: 0x1000,
+    });
+    match net_addr.offset(0x234) {
+        DmAddr::Net(a) => assert_eq!(a.va, 0x1234),
+        _ => panic!("variant changed"),
+    }
+    let cxl_addr = DmAddr::Cxl(0x2000);
+    match cxl_addr.offset(8) {
+        DmAddr::Cxl(va) => assert_eq!(va, 0x2008),
+        _ => panic!("variant changed"),
+    }
+}
+
+#[test]
+fn fetch_byref_without_dm_backend_fails_cleanly() {
+    let (sim, net) = net_rig();
+    sim.block_on(async move {
+        let c_node = net.add_node("c", NicConfig::default());
+        let ep = DmRpc::baseline(RpcBuilder::new(&net, c_node, 100).build());
+        let bogus = Value::ByRef(dmcommon::Ref::Net {
+            server: dmcommon::DmServerId(0),
+            key: 1,
+            len: 4096,
+        });
+        assert_eq!(ep.fetch(&bogus).await.unwrap_err(), DmError::InvalidRef);
+        assert_eq!(ep.release(&bogus).await.unwrap_err(), DmError::InvalidRef);
+    });
+}

@@ -1,0 +1,180 @@
+//! LD-FAM: Logical-Device Fabric-Attached Memory (paper §II-B2).
+//!
+//! "LD-FAM partitions a physical CXL memory device into up to 16 logical
+//! devices. Each logical device can be exposed to a host with a separate
+//! Device Physical Address (DPA)." Unlike G-FAM there is **no shared DPA
+//! space**, so LD-FAM gives each host private CXL capacity but cannot host
+//! DmRPC's shared `Ref`s — which is exactly why DmRPC-CXL builds on G-FAM.
+//! This module exists to make that architectural distinction concrete (and
+//! testable).
+
+use std::rc::Rc;
+
+use dmcommon::{DmError, DmResult, PAGE_SIZE};
+
+use crate::gfam::{GFam, Ppn};
+
+/// Maximum logical devices per physical device (CXL spec).
+pub const MAX_LOGICAL_DEVICES: usize = 16;
+
+/// A physical CXL memory device carved into logical devices.
+pub struct LdFam {
+    device: Rc<GFam>,
+    /// Page ranges per logical device: `(first_ppn, n_pages)`.
+    partitions: Vec<(Ppn, u64)>,
+}
+
+impl LdFam {
+    /// Partition `device` into `n` equal logical devices.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds [`MAX_LOGICAL_DEVICES`].
+    pub fn partition(device: Rc<GFam>, n: usize) -> LdFam {
+        assert!(
+            (1..=MAX_LOGICAL_DEVICES).contains(&n),
+            "LD-FAM supports 1..=16 logical devices"
+        );
+        let per = (device.capacity_pages() / n) as u64;
+        assert!(per > 0, "device too small for {n} partitions");
+        let partitions = (0..n).map(|i| (i as Ppn * per as Ppn, per)).collect();
+        LdFam { device, partitions }
+    }
+
+    /// Number of logical devices.
+    pub fn logical_devices(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Expose logical device `ld` to a host. Each logical device may be
+    /// attached once per host; the handle addresses it with a private,
+    /// zero-based DPA.
+    pub fn attach(&self, ld: usize) -> DmResult<LogicalDevice> {
+        let &(base, pages) = self.partitions.get(ld).ok_or(DmError::InvalidAddress)?;
+        Ok(LogicalDevice {
+            device: self.device.clone(),
+            base,
+            bytes: pages * PAGE_SIZE as u64,
+        })
+    }
+}
+
+/// One host's private view of its logical device: a flat byte range
+/// addressed by device-private addresses starting at 0.
+pub struct LogicalDevice {
+    device: Rc<GFam>,
+    base: Ppn,
+    bytes: u64,
+}
+
+impl LogicalDevice {
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.bytes
+    }
+
+    fn locate(&self, dpa: u64, len: usize) -> DmResult<()> {
+        if dpa + len as u64 > self.bytes {
+            return Err(DmError::OutOfBounds);
+        }
+        Ok(())
+    }
+
+    /// `store` at a device-private address.
+    pub async fn store(&self, dpa: u64, data: &[u8]) -> DmResult<()> {
+        self.locate(dpa, data.len())?;
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = dpa + off as u64;
+            let ppn = self.base + (cur / PAGE_SIZE as u64) as Ppn;
+            let in_page = (cur % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - off);
+            self.device.write_page(ppn, in_page, &data[off..off + n]);
+            off += n;
+        }
+        self.device.access(data.len() as u64).await;
+        Ok(())
+    }
+
+    /// `load` from a device-private address.
+    pub async fn load(&self, dpa: u64, len: u64) -> DmResult<Vec<u8>> {
+        self.locate(dpa, len as usize)?;
+        let mut out = vec![0u8; len as usize];
+        let mut off = 0usize;
+        while off < len as usize {
+            let cur = dpa + off as u64;
+            let ppn = self.base + (cur / PAGE_SIZE as u64) as Ppn;
+            let in_page = (cur % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(len as usize - off);
+            self.device.read_page(ppn, in_page, &mut out[off..off + n]);
+            off += n;
+        }
+        self.device.access(len).await;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::ModelParams;
+    use simcore::Sim;
+
+    #[test]
+    fn partitions_are_private_and_isolated() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let device = GFam::new(64, ModelParams::new());
+            let ld = LdFam::partition(device, 4);
+            assert_eq!(ld.logical_devices(), 4);
+            let a = ld.attach(0).unwrap();
+            let b = ld.attach(1).unwrap();
+            assert_eq!(a.capacity(), 16 * PAGE_SIZE as u64);
+
+            // Host A writes at its DPA 0; host B's DPA 0 is untouched —
+            // same physical device, disjoint DPA spaces.
+            a.store(0, b"host-a-private").await.unwrap();
+            let bview = b.load(0, 14).await.unwrap();
+            assert_eq!(bview, vec![0u8; 14], "LD-FAM partitions do not share");
+            let aview = a.load(0, 14).await.unwrap();
+            assert_eq!(&aview, b"host-a-private");
+        });
+    }
+
+    #[test]
+    fn bounds_enforced_per_partition() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let device = GFam::new(32, ModelParams::new());
+            let ld = LdFam::partition(device, 2);
+            let a = ld.attach(0).unwrap();
+            let cap = a.capacity();
+            // Writing past the partition end must fail, not spill into the
+            // neighbor's pages.
+            assert_eq!(
+                a.store(cap - 1, &[1, 2]).await.unwrap_err(),
+                DmError::OutOfBounds
+            );
+            assert!(ld.attach(2).is_err());
+        });
+    }
+
+    #[test]
+    fn cross_page_access_within_partition() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let device = GFam::new(32, ModelParams::new());
+            let ld = LdFam::partition(device, 2);
+            let a = ld.attach(1).unwrap();
+            let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+            a.store(100, &data).await.unwrap();
+            assert_eq!(a.load(100, 10_000).await.unwrap(), data);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn too_many_logical_devices_rejected() {
+        let device = GFam::new(64, ModelParams::new());
+        let _ = LdFam::partition(device, 17);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the CXL G-FAM backend: random multi-host write
+//! patterns never violate COW isolation or page-conservation invariants.
+
+use dmcommon::{Ref, PAGE_SIZE};
+use dmcxl::{check_fabric_invariants, CxlFabric, CxlHostConfig};
+use memsim::ModelParams;
+use proptest::prelude::*;
+use rpclib::RpcBuilder;
+use simcore::Sim;
+use simnet::{FabricConfig, Network, NicConfig};
+
+const PS: u64 = PAGE_SIZE as u64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N hosts map the same ref and write random disjoint-or-overlapping
+    /// ranges; each host's view must equal the original snapshot with only
+    /// its own writes applied, and the producer's view stays pristine.
+    #[test]
+    fn cow_isolation_under_random_writes(
+        pages in 1u64..6,
+        writes in proptest::collection::vec(
+            (0usize..3, 0u64..6 * PS, 1usize..3000, any::<u8>()),
+            0..20
+        ),
+    ) {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let net = Network::new(FabricConfig::default(), 17);
+            let coord = net.add_node("coord", NicConfig::default());
+            let fabric = CxlFabric::new(
+                &net,
+                coord,
+                2048,
+                ModelParams::new(),
+                CxlHostConfig::default(),
+            );
+            let mk = |i: u32| {
+                let node = net.add_node(format!("h{i}"), NicConfig::default());
+                fabric.new_host(RpcBuilder::new(&net, node, 100).build())
+            };
+            let producer = mk(0);
+            let hosts = [mk(1), mk(2), mk(3)];
+
+            let len = pages * PS;
+            let original: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let va = producer.alloc(len).unwrap();
+            producer.store(va, &original).await.unwrap();
+            let r = producer.create_ref(va, len).await.unwrap();
+
+            // Each consumer maps the ref and tracks its expected view.
+            let mut views = Vec::new();
+            let mut vas = Vec::new();
+            for h in &hosts {
+                vas.push(h.map_ref(&r).await.unwrap());
+                views.push(original.clone());
+            }
+
+            for (who, off, wlen, fill) in writes {
+                let who = who % hosts.len();
+                if off + wlen as u64 > len { continue; }
+                let buf = vec![fill; wlen];
+                hosts[who]
+                    .store(vas[who] + off, &buf)
+                    .await
+                    .unwrap();
+                views[who][off as usize..off as usize + wlen].copy_from_slice(&buf);
+            }
+
+            // Producer unchanged; every consumer sees exactly its writes.
+            let pview = producer.load(va, len).await.unwrap();
+            assert_eq!(&pview[..], &original[..], "producer isolation");
+            for (i, h) in hosts.iter().enumerate() {
+                let got = h.load(vas[i], len).await.unwrap();
+                assert_eq!(&got[..], &views[i][..], "host {i} view");
+            }
+
+            // Invariants with the live ref accounted.
+            let Ref::Cxl { pages: ref ppns, .. } = r else { unreachable!() };
+            let pins: Vec<(u32, u32)> = ppns.iter().map(|&p| (p, 1)).collect();
+            let all = [
+                producer.clone(),
+                hosts[0].clone(),
+                hosts[1].clone(),
+                hosts[2].clone(),
+            ];
+            check_fabric_invariants(fabric.gfam(), fabric.coordinator(), &all, &pins);
+
+            // Full teardown reclaims every page.
+            producer.free(va).unwrap();
+            for (i, h) in hosts.iter().enumerate() {
+                h.free(vas[i]).unwrap();
+            }
+            producer.release_ref(&r).await.unwrap();
+            // Let watermark returns drain.
+            simcore::sleep(std::time::Duration::from_millis(1)).await;
+            check_fabric_invariants(fabric.gfam(), fabric.coordinator(), &all, &[]);
+        });
+    }
+
+    /// Store/load round trip for arbitrary offsets and lengths.
+    #[test]
+    fn cxl_store_load_roundtrip(
+        region_pages in 1u64..8,
+        chunks in proptest::collection::vec((0u64..8 * PS, 1usize..5000, any::<u8>()), 1..12),
+    ) {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let net = Network::new(FabricConfig::default(), 23);
+            let coord = net.add_node("coord", NicConfig::default());
+            let fabric = CxlFabric::new(
+                &net,
+                coord,
+                1024,
+                ModelParams::new(),
+                CxlHostConfig::default(),
+            );
+            let node = net.add_node("h", NicConfig::default());
+            let host = fabric.new_host(RpcBuilder::new(&net, node, 100).build());
+            let len = region_pages * PS;
+            let va = host.alloc(len).unwrap();
+            let mut model = vec![0u8; len as usize];
+            for (off, wlen, fill) in chunks {
+                if off + wlen as u64 > len { continue; }
+                let buf = vec![fill; wlen];
+                host.store(va + off, &buf).await.unwrap();
+                model[off as usize..off as usize + wlen].copy_from_slice(&buf);
+            }
+            let got = host.load(va, len).await.unwrap();
+            assert_eq!(&got[..], &model[..]);
+        });
+    }
+}

@@ -1,0 +1,205 @@
+//! Client-side DM library (the "DM lib" of paper §VI-A).
+//!
+//! Provides the Table-II API — `ralloc`, `rfree`, `create_ref`, `map_ref`,
+//! `rread`, `rwrite` (the latter two are specific to DmRPC-net) — by talking
+//! the [`crate::proto`] protocol to a pool of DM servers. Allocation
+//! requests are spread round-robin across the pool (paper §VI-A: "its
+//! allocation request would be forwarded to one of the memory servers in a
+//! round-robin manner").
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dmcommon::{DmError, DmResult, DmServerId, GlobalPid, Ref, RemoteAddr};
+use rpclib::Rpc;
+use simnet::Addr;
+
+use crate::proto::{parse_response, req, Reader, Writer};
+
+/// Handle to the DM pool for one process.
+///
+/// The same server list (in the same order) must be used by every client in
+/// the simulation: [`DmServerId`]s inside [`RemoteAddr`]s and [`Ref`]s index
+/// into it.
+pub struct DmNetClient {
+    rpc: Rc<Rpc>,
+    servers: Vec<Addr>,
+    pids: Vec<GlobalPid>,
+    next_rr: Cell<usize>,
+}
+
+impl DmNetClient {
+    /// Register this process with every DM server in the pool.
+    pub async fn connect(rpc: Rc<Rpc>, servers: Vec<Addr>) -> DmResult<DmNetClient> {
+        assert!(!servers.is_empty(), "DM pool must have at least one server");
+        let mut pids = Vec::with_capacity(servers.len());
+        for &s in &servers {
+            let resp = rpc
+                .call(s, req::REGISTER, Bytes::new())
+                .await
+                .map_err(|_| DmError::Transport)?;
+            let body = parse_response(&resp)?;
+            let mut r = Reader::new(&body);
+            pids.push(r.pid()?);
+        }
+        Ok(DmNetClient {
+            rpc,
+            servers,
+            pids,
+            next_rr: Cell::new(0),
+        })
+    }
+
+    /// The DM server addresses this client uses.
+    pub fn servers(&self) -> &[Addr] {
+        &self.servers
+    }
+
+    fn server_addr(&self, id: DmServerId) -> DmResult<Addr> {
+        self.servers
+            .get(id.0 as usize)
+            .copied()
+            .ok_or(DmError::InvalidAddress)
+    }
+
+    fn pid_at(&self, id: DmServerId) -> GlobalPid {
+        self.pids[id.0 as usize]
+    }
+
+    async fn request(&self, server: DmServerId, ty: u8, body: Bytes) -> DmResult<Bytes> {
+        let addr = self.server_addr(server)?;
+        let resp = self
+            .rpc
+            .call(addr, ty, body)
+            .await
+            .map_err(|_| DmError::Transport)?;
+        parse_response(&resp)
+    }
+
+    /// Allocate `len` bytes of disaggregated memory (round-robin across the
+    /// pool). Table II: `ralloc(size)`.
+    pub async fn ralloc(&self, len: u64) -> DmResult<RemoteAddr> {
+        let idx = self.next_rr.get() % self.servers.len();
+        self.next_rr.set(idx + 1);
+        let server = DmServerId(idx as u8);
+        let pid = self.pid_at(server);
+        let body = Writer::new().pid(pid).u64(len).finish();
+        let resp = self.request(server, req::ALLOC, body).await?;
+        let mut r = Reader::new(&resp);
+        Ok(RemoteAddr {
+            server,
+            pid,
+            va: r.u64()?,
+        })
+    }
+
+    /// Deallocate a region. Table II: `rfree(remote_addr)`.
+    pub async fn rfree(&self, addr: RemoteAddr) -> DmResult<()> {
+        let body = Writer::new().pid(addr.pid).u64(addr.va).finish();
+        self.request(addr.server, req::FREE, body).await?;
+        Ok(())
+    }
+
+    /// Write `data` to DM at `addr`. Table II: `rwrite`.
+    pub async fn rwrite(&self, addr: RemoteAddr, data: &Bytes) -> DmResult<()> {
+        let body = Writer::new()
+            .pid(addr.pid)
+            .u64(addr.va)
+            .bytes(data)
+            .finish();
+        self.request(addr.server, req::WRITE, body).await?;
+        Ok(())
+    }
+
+    /// Read `len` bytes of DM from `addr`. Table II: `rread`.
+    pub async fn rread(&self, addr: RemoteAddr, len: u64) -> DmResult<Bytes> {
+        let body = Writer::new().pid(addr.pid).u64(addr.va).u64(len).finish();
+        self.request(addr.server, req::READ, body).await
+    }
+
+    /// Create a shared reference to `[addr, addr+len)`. Table II:
+    /// `create_ref(remote_addr, size)`.
+    pub async fn create_ref(&self, addr: RemoteAddr, len: u64) -> DmResult<Ref> {
+        let body = Writer::new().pid(addr.pid).u64(addr.va).u64(len).finish();
+        let resp = self.request(addr.server, req::CREATE_REF, body).await?;
+        let mut r = Reader::new(&resp);
+        Ok(Ref::Net {
+            server: addr.server,
+            key: r.u64()?,
+            len,
+        })
+    }
+
+    /// Map a reference into this process's DM address space. Table II:
+    /// `map_ref(ref)`.
+    pub async fn map_ref(&self, r: &Ref) -> DmResult<RemoteAddr> {
+        let Ref::Net { server, key, .. } = r else {
+            return Err(DmError::InvalidRef);
+        };
+        let pid = self.pid_at(*server);
+        let body = Writer::new().pid(pid).u64(*key).finish();
+        let resp = self.request(*server, req::MAP_REF, body).await?;
+        let mut rd = Reader::new(&resp);
+        let va = rd.u64()?;
+        let _len = rd.u64()?;
+        Ok(RemoteAddr {
+            server: *server,
+            pid,
+            va,
+        })
+    }
+
+    /// Fast path: write `data` into a freshly-allocated region and create a
+    /// shared reference in one round trip (DESIGN.md §6 optimization).
+    pub async fn write_create_ref(&self, addr: RemoteAddr, data: &Bytes) -> DmResult<Ref> {
+        let body = Writer::new()
+            .pid(addr.pid)
+            .u64(addr.va)
+            .bytes(data)
+            .finish();
+        let resp = self
+            .request(addr.server, req::WRITE_CREATE_REF, body)
+            .await?;
+        let mut r = Reader::new(&resp);
+        Ok(Ref::Net {
+            server: addr.server,
+            key: r.u64()?,
+            len: data.len() as u64,
+        })
+    }
+
+    /// Fast path: publish `data` as a new reference in one round trip
+    /// (round-robin across the pool; no creator mapping to free).
+    pub async fn put_ref(&self, data: &Bytes) -> DmResult<Ref> {
+        let idx = self.next_rr.get() % self.servers.len();
+        self.next_rr.set(idx + 1);
+        let server = DmServerId(idx as u8);
+        let resp = self.request(server, req::PUT_REF, data.clone()).await?;
+        let mut r = Reader::new(&resp);
+        Ok(Ref::Net {
+            server,
+            key: r.u64()?,
+            len: data.len() as u64,
+        })
+    }
+
+    /// Fast path: read `len` bytes at `off` of a reference without mapping.
+    pub async fn read_ref(&self, r: &Ref, off: u64, len: u64) -> DmResult<Bytes> {
+        let Ref::Net { server, key, .. } = r else {
+            return Err(DmError::InvalidRef);
+        };
+        let body = Writer::new().u64(*key).u64(off).u64(len).finish();
+        self.request(*server, req::READ_REF, body).await
+    }
+
+    /// Release a reference (API extension; see DESIGN.md §6).
+    pub async fn release_ref(&self, r: &Ref) -> DmResult<()> {
+        let Ref::Net { server, key, .. } = r else {
+            return Err(DmError::InvalidRef);
+        };
+        let body = Writer::new().u64(*key).finish();
+        self.request(*server, req::RELEASE_REF, body).await?;
+        Ok(())
+    }
+}

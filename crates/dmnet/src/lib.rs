@@ -1,0 +1,442 @@
+//! # dmnet — network-attached disaggregated memory (DmRPC-net's DM layer)
+//!
+//! Implements the paper's §V-A design: regular servers act as DM servers,
+//! reachable over the (simulated) Ethernet fabric. Each DM server runs:
+//!
+//! * a **Page manager** ([`page_manager::PageManager`]): pinned pages in a
+//!   FIFO free list, per-page refcounts, per-process VA allocation trees
+//!   ([`va_tree::VaTree`]), and the `create_ref` key → pages map;
+//! * an **Address translator** ([`translator::Translator`]): one in-memory
+//!   hash table from DM virtual addresses to pinned pages;
+//! * **centralized copy-on-write**: a write to a page with refcount > 1
+//!   copies the page at the server and retargets the writer's translation.
+//!
+//! Compute-side processes use [`client::DmNetClient`], which exposes the
+//! Table-II API (`ralloc`/`rfree`/`create_ref`/`map_ref`/`rread`/`rwrite`)
+//! and routes requests to the owning server, spreading allocations
+//! round-robin across the pool.
+//!
+//! End-to-end tests live at the bottom of this file; pure data-structure
+//! tests live with their modules; property-based tests are in
+//! `tests/proptest_dm.rs`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod page_manager;
+pub mod proto;
+pub mod server;
+pub mod translator;
+
+/// Re-export of the shared VA-range allocator (lives in [`dmcommon`]).
+pub use dmcommon::va_tree;
+
+pub use client::DmNetClient;
+pub use page_manager::{OpCost, PageManager};
+pub use server::{start_pool, DmServer, DmServerConfig};
+
+#[cfg(test)]
+mod e2e_tests {
+    use std::rc::Rc;
+
+    use bytes::Bytes;
+    use dmcommon::{CopyMode, DmError, Ref};
+    use memsim::ModelParams;
+    use rpclib::{Rpc, RpcBuilder};
+    use simcore::Sim;
+    use simnet::{FabricConfig, Network, NicConfig, NodeId};
+
+    use super::*;
+
+    struct Rig {
+        sim: Sim,
+        net: Network,
+        params: ModelParams,
+        dm_nodes: Vec<NodeId>,
+        compute: Vec<NodeId>,
+    }
+
+    fn rig(n_dm: usize, n_compute: usize) -> Rig {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 11);
+        let dm_nodes = (0..n_dm)
+            .map(|i| net.add_node(format!("dm{i}"), NicConfig::default()))
+            .collect();
+        let compute = (0..n_compute)
+            .map(|i| net.add_node(format!("c{i}"), NicConfig::default()))
+            .collect();
+        Rig {
+            sim,
+            net,
+            params: ModelParams::new(),
+            dm_nodes,
+            compute,
+        }
+    }
+
+    fn client_rpc(net: &Network, node: NodeId, port: u16) -> Rc<Rpc> {
+        RpcBuilder::new(net, node, port).build()
+    }
+
+    #[test]
+    fn alloc_write_read_free_over_network() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let rpc = client_rpc(&net, c0, 100);
+            let dm = DmNetClient::connect(rpc, vec![servers[0].addr()])
+                .await
+                .unwrap();
+
+            let addr = dm.ralloc(10_000).await.unwrap();
+            let data = Bytes::from((0..10_000u32).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+            dm.rwrite(addr, &data).await.unwrap();
+            let back = dm.rread(addr, 10_000).await.unwrap();
+            assert_eq!(back, data);
+            // Unaligned partial read.
+            let part = dm.rread(addr.offset(4097), 100).await.unwrap();
+            assert_eq!(&part[..], &data[4097..4197]);
+            dm.rfree(addr).await.unwrap();
+            assert_eq!(
+                dm.rread(addr, 1).await.unwrap_err(),
+                DmError::InvalidAddress
+            );
+            servers[0].with_page_manager(|pm| pm.check_invariants());
+        });
+    }
+
+    #[test]
+    fn pass_by_reference_between_two_processes() {
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let pool = vec![servers[0].addr()];
+            let producer = DmNetClient::connect(client_rpc(&net, c0, 100), pool.clone())
+                .await
+                .unwrap();
+            let consumer = DmNetClient::connect(client_rpc(&net, c1, 100), pool)
+                .await
+                .unwrap();
+
+            let addr = producer.ralloc(8192).await.unwrap();
+            let data = Bytes::from(vec![0x5A; 8192]);
+            producer.rwrite(addr, &data).await.unwrap();
+            let r = producer.create_ref(addr, 8192).await.unwrap();
+            assert!(matches!(r, Ref::Net { .. }));
+            assert_eq!(r.wire_bytes(), 18, "the Ref is small");
+            // Producer can free its own mapping; the ref keeps data alive.
+            producer.rfree(addr).await.unwrap();
+
+            // Consumer (a different process on a different server) maps it.
+            let caddr = consumer.map_ref(&r).await.unwrap();
+            let back = consumer.rread(caddr, 8192).await.unwrap();
+            assert_eq!(back, data);
+
+            // Consumer writes one page: COW isolates it from the ref.
+            consumer
+                .rwrite(caddr, &Bytes::from(vec![0xA5; 10]))
+                .await
+                .unwrap();
+            let again = consumer.rread(caddr, 10).await.unwrap();
+            assert_eq!(&again[..], &[0xA5; 10]);
+
+            // A second consumer mapping still sees the original bytes.
+            let caddr2 = consumer.map_ref(&r).await.unwrap();
+            let orig = consumer.rread(caddr2, 10).await.unwrap();
+            assert_eq!(&orig[..], &[0x5A; 10]);
+
+            consumer.rfree(caddr).await.unwrap();
+            consumer.rfree(caddr2).await.unwrap();
+            consumer.release_ref(&r).await.unwrap();
+            servers[0].with_page_manager(|pm| {
+                pm.check_invariants();
+                assert_eq!(pm.free_pages(), pm.capacity_pages(), "all pages reclaimed");
+            });
+        });
+    }
+
+    #[test]
+    fn round_robin_across_two_servers() {
+        let r = rig(2, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (d0, d1, c0) = (r.dm_nodes[0], r.dm_nodes[1], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[d0, d1], &params, DmServerConfig::default());
+            let dm = DmNetClient::connect(
+                client_rpc(&net, c0, 100),
+                servers.iter().map(|s| s.addr()).collect(),
+            )
+            .await
+            .unwrap();
+            let a0 = dm.ralloc(4096).await.unwrap();
+            let a1 = dm.ralloc(4096).await.unwrap();
+            let a2 = dm.ralloc(4096).await.unwrap();
+            assert_eq!(a0.server.0, 0);
+            assert_eq!(a1.server.0, 1);
+            assert_eq!(a2.server.0, 0);
+            // Data lands on the right server.
+            dm.rwrite(a1, &Bytes::from_static(b"on-server-1"))
+                .await
+                .unwrap();
+            assert_eq!(&dm.rread(a1, 11).await.unwrap()[..], b"on-server-1");
+        });
+    }
+
+    #[test]
+    fn eager_copy_pool_copies_on_create_ref() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                copy_mode: CopyMode::Eager,
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(16 * 4096).await.unwrap();
+            dm.rwrite(addr, &Bytes::from(vec![3u8; 16 * 4096]))
+                .await
+                .unwrap();
+            let traffic_before = servers[0].memory().traffic_bytes();
+            let _ = dm.create_ref(addr, 16 * 4096).await.unwrap();
+            let traffic_after = servers[0].memory().traffic_bytes();
+            // Eager copy moves 16 pages through memory (2x for read+write).
+            assert!(
+                traffic_after - traffic_before >= 2 * 16 * 4096,
+                "copy traffic missing: {}",
+                traffic_after - traffic_before
+            );
+        });
+    }
+
+    #[test]
+    fn cow_create_ref_is_cheap_in_traffic_and_time() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(256 * 4096).await.unwrap(); // 1 MiB
+            dm.rwrite(addr, &Bytes::from(vec![3u8; 256 * 4096]))
+                .await
+                .unwrap();
+            let traffic_before = servers[0].memory().traffic_bytes();
+            let t0 = simcore::now();
+            let _ = dm.create_ref(addr, 256 * 4096).await.unwrap();
+            let elapsed = simcore::now() - t0;
+            let delta = servers[0].memory().traffic_bytes() - traffic_before;
+            assert!(delta < 4096, "COW create_ref moved {delta} bytes");
+            assert!(
+                elapsed < std::time::Duration::from_micros(50),
+                "COW create_ref took {elapsed:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn out_of_memory_propagates_to_client() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                capacity_pages: 4,
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(8 * 4096).await.unwrap();
+            let r = dm.rwrite(addr, &Bytes::from(vec![1u8; 8 * 4096])).await;
+            assert_eq!(r.unwrap_err(), DmError::OutOfMemory);
+        });
+    }
+
+    #[test]
+    fn concurrent_clients_keep_invariants() {
+        let r = rig(1, 4);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let dm0 = r.dm_nodes[0];
+        let compute = r.compute.clone();
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let pool = vec![servers[0].addr()];
+            let mut handles = Vec::new();
+            for (i, &node) in compute.iter().enumerate() {
+                let net = net.clone();
+                let pool = pool.clone();
+                handles.push(simcore::spawn(async move {
+                    let dm = DmNetClient::connect(client_rpc(&net, node, 100), pool)
+                        .await
+                        .unwrap();
+                    for round in 0..10u64 {
+                        let len = 4096 * (1 + (round % 4));
+                        let addr = dm.ralloc(len).await.unwrap();
+                        let fill = (i as u8) ^ (round as u8);
+                        dm.rwrite(addr, &Bytes::from(vec![fill; len as usize]))
+                            .await
+                            .unwrap();
+                        let back = dm.rread(addr, len).await.unwrap();
+                        assert!(back.iter().all(|&b| b == fill));
+                        let r = dm.create_ref(addr, len).await.unwrap();
+                        let m = dm.map_ref(&r).await.unwrap();
+                        dm.rwrite(m, &Bytes::from(vec![0xFF; 16])).await.unwrap();
+                        dm.rfree(m).await.unwrap();
+                        dm.rfree(addr).await.unwrap();
+                        dm.release_ref(&r).await.unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            servers[0].with_page_manager(|pm| {
+                pm.check_invariants();
+                assert_eq!(pm.free_pages(), pm.capacity_pages());
+            });
+        });
+    }
+
+    #[test]
+    fn sharded_server_routes_and_recovers() {
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                shards: 4,
+                capacity_pages: 4096,
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            assert_eq!(servers[0].shard_count(), 4);
+            let pool = vec![servers[0].addr()];
+            let a = DmNetClient::connect(client_rpc(&net, c0, 100), pool.clone())
+                .await
+                .unwrap();
+            let b = DmNetClient::connect(client_rpc(&net, c1, 100), pool)
+                .await
+                .unwrap();
+
+            // Allocations land on different shards (round-robin) but behave
+            // identically; refs created on one shard resolve from any client.
+            let mut refs = Vec::new();
+            for i in 0..8u8 {
+                let len = 2 * 4096u64;
+                let addr = a.ralloc(len).await.unwrap();
+                a.rwrite(addr, &Bytes::from(vec![i; len as usize]))
+                    .await
+                    .unwrap();
+                let r = a.create_ref(addr, len).await.unwrap();
+                a.rfree(addr).await.unwrap();
+                refs.push((i, r));
+            }
+            for (i, r) in &refs {
+                let m = b.map_ref(r).await.unwrap();
+                let back = b.rread(m, 16).await.unwrap();
+                assert!(back.iter().all(|&v| v == *i), "shard routing mixed up data");
+                // COW write stays isolated per shard too.
+                b.rwrite(m, &Bytes::from_static(b"zz")).await.unwrap();
+                assert_eq!(&b.read_ref(r, 0, 2).await.unwrap()[..], &[*i, *i]);
+                b.rfree(m).await.unwrap();
+            }
+            for (_, r) in &refs {
+                b.release_ref(r).await.unwrap();
+            }
+            servers[0].check_invariants_all();
+            assert_eq!(
+                servers[0].free_pages_total(),
+                servers[0].capacity_pages_total(),
+                "all shards fully reclaimed"
+            );
+        });
+    }
+
+    #[test]
+    fn sharding_scales_create_ref_rate() {
+        // One core/one shard vs four shards: saturated small create_ref
+        // rate should scale with shards (paper 's VI-C dispatching claim).
+        let run = |shards: usize| {
+            let r = rig(1, 1);
+            let (net, params) = (r.net.clone(), r.params.clone());
+            let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+            r.sim.block_on(async move {
+                let cfg = DmServerConfig {
+                    shards,
+                    cores: 1,
+                    capacity_pages: 8192,
+                    ..Default::default()
+                };
+                let servers = start_pool(&net, &[dm0], &params, cfg);
+                let dm = Rc::new(
+                    DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                        .await
+                        .unwrap(),
+                );
+                // Pre-create one region per shard so create_ref spreads.
+                let mut addrs = Vec::new();
+                for _ in 0..shards.max(1) {
+                    let a = dm.ralloc(64 * 4096).await.unwrap();
+                    dm.rwrite(a, &Bytes::from(vec![1u8; 64 * 4096]))
+                        .await
+                        .unwrap();
+                    addrs.push(a);
+                }
+                let t0 = simcore::now();
+                let mut handles = Vec::new();
+                for w in 0..16usize {
+                    let dm = dm.clone();
+                    let addr = addrs[w % addrs.len()];
+                    handles.push(simcore::spawn(async move {
+                        for _ in 0..50 {
+                            let r = dm.create_ref(addr, 64 * 4096).await.unwrap();
+                            dm.release_ref(&r).await.unwrap();
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                (simcore::now() - t0).as_nanos() as u64
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four * 2 < one,
+            "4 shards should be >2x faster than 1 core: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn translation_fraction_is_tiny() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(64 * 4096).await.unwrap();
+            let data = Bytes::from(vec![9u8; 64 * 4096]);
+            dm.rwrite(addr, &data).await.unwrap();
+            for _ in 0..20 {
+                dm.rread(addr, 64 * 4096).await.unwrap();
+            }
+            let frac = servers[0].translation_fraction();
+            assert!(frac > 0.0 && frac < 0.25, "translation fraction {frac}");
+        });
+    }
+}

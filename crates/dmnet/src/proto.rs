@@ -1,0 +1,220 @@
+//! DM wire protocol: request/response encoding over [`rpclib`].
+//!
+//! Each DM operation is one RPC to the owning DM server. Responses carry a
+//! leading status byte (0 = ok, otherwise a [`DmError`] code).
+
+use bytes::{Bytes, BytesMut};
+use dmcommon::{DmError, DmResult, GlobalPid};
+
+/// RPC `req_type` values used by the DM protocol.
+pub mod req {
+    /// Register a process, returns its global PID.
+    pub const REGISTER: u8 = 10;
+    /// Allocate DM virtual address space.
+    pub const ALLOC: u8 = 11;
+    /// Free a region.
+    pub const FREE: u8 = 12;
+    /// Create a shared reference.
+    pub const CREATE_REF: u8 = 13;
+    /// Map a shared reference.
+    pub const MAP_REF: u8 = 14;
+    /// Read bytes from DM.
+    pub const READ: u8 = 15;
+    /// Write bytes to DM.
+    pub const WRITE: u8 = 16;
+    /// Release a shared reference.
+    pub const RELEASE_REF: u8 = 17;
+    /// Fast path: write a freshly-allocated region and create a ref in one
+    /// round trip (an engineering optimization over the paper's Listing 1,
+    /// see DESIGN.md §6).
+    pub const WRITE_CREATE_REF: u8 = 18;
+    /// Fast path: read a ref's bytes by key without installing a mapping.
+    pub const READ_REF: u8 = 19;
+    /// Fast path: publish data as a new reference in one round trip, with
+    /// no creator mapping (server-side allocation).
+    pub const PUT_REF: u8 = 20;
+}
+
+/// Well-known port DM servers listen on.
+pub const DM_PORT: u16 = 7000;
+
+fn err_code(e: DmError) -> u8 {
+    match e {
+        DmError::OutOfMemory => 1,
+        DmError::InvalidAddress => 2,
+        DmError::InvalidRef => 3,
+        DmError::OutOfBounds => 4,
+        DmError::Malformed => 5,
+        DmError::Transport => 6,
+    }
+}
+
+fn code_err(c: u8) -> DmError {
+    match c {
+        1 => DmError::OutOfMemory,
+        2 => DmError::InvalidAddress,
+        3 => DmError::InvalidRef,
+        4 => DmError::OutOfBounds,
+        6 => DmError::Transport,
+        _ => DmError::Malformed,
+    }
+}
+
+/// Encode a successful response with `body`.
+pub fn ok_response(body: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(1 + body.len());
+    b.extend_from_slice(&[0u8]);
+    b.extend_from_slice(body);
+    b.freeze()
+}
+
+/// Encode an error response.
+pub fn err_response(e: DmError) -> Bytes {
+    Bytes::from(vec![err_code(e)])
+}
+
+/// Split a response into its body or error.
+pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
+    match resp.first() {
+        Some(0) => Ok(resp.slice(1..)),
+        Some(&c) => Err(code_err(c)),
+        None => Err(DmError::Malformed),
+    }
+}
+
+/// Cursor-style reader for request/response bodies.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> DmResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> DmResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Read a PID.
+    pub fn pid(&mut self) -> DmResult<GlobalPid> {
+        Ok(GlobalPid(self.u32()?))
+    }
+
+    /// Remaining bytes.
+    pub fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> DmResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DmError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Builder for request/response bodies.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start an empty body.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Append a u32.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u64.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a PID.
+    pub fn pid(self, p: GlobalPid) -> Self {
+        self.u32(p.0)
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Finish into `Bytes`.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_roundtrip() {
+        let ok = ok_response(b"abc");
+        assert_eq!(&parse_response(&ok).unwrap()[..], b"abc");
+        let err = err_response(DmError::OutOfMemory);
+        assert_eq!(parse_response(&err).unwrap_err(), DmError::OutOfMemory);
+        assert_eq!(
+            parse_response(&Bytes::new()).unwrap_err(),
+            DmError::Malformed
+        );
+    }
+
+    #[test]
+    fn all_error_codes_roundtrip() {
+        for e in [
+            DmError::OutOfMemory,
+            DmError::InvalidAddress,
+            DmError::InvalidRef,
+            DmError::OutOfBounds,
+            DmError::Malformed,
+            DmError::Transport,
+        ] {
+            assert_eq!(parse_response(&err_response(e)).unwrap_err(), e);
+        }
+    }
+
+    #[test]
+    fn reader_writer_roundtrip() {
+        let body = Writer::new()
+            .pid(GlobalPid(9))
+            .u64(0xABCD)
+            .u32(77)
+            .bytes(b"tail")
+            .finish();
+        let mut r = Reader::new(&body);
+        assert_eq!(r.pid().unwrap(), GlobalPid(9));
+        assert_eq!(r.u64().unwrap(), 0xABCD);
+        assert_eq!(r.u32().unwrap(), 77);
+        assert_eq!(r.rest(), b"tail");
+    }
+
+    #[test]
+    fn reader_underflow_is_malformed() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u64().unwrap_err(), DmError::Malformed);
+    }
+}

@@ -1,0 +1,496 @@
+//! The DM server process (paper Fig. 3, right side).
+//!
+//! One `DmServer` runs on a memory node and serves the DM protocol over an
+//! [`rpclib::Rpc`] endpoint. Every operation charges the server's CPU
+//! ([`simcore::CpuPool`]) and memory system ([`memsim::NodeMemory`]):
+//!
+//! * per-operation dispatch CPU plus per-page refcount-update CPU;
+//! * software address translation CPU (tracked separately so the paper's
+//!   "translation is 0.17% of access time" observation can be reproduced);
+//! * DRAM bandwidth and traffic for data reads/writes and for every page
+//!   copied by COW or by the eager `-copy` ablation.
+//!
+//! **Sharding** (paper §VI-C): "Concurrent requests received in a single
+//! memory server will be dispatched to its different CPU cores, each
+//! responsible for managing a portion of the memory." With
+//! [`DmServerConfig::shards`] > 1 the server runs that many independent
+//! [`PageManager`] shards, each pinned to one core; allocations are spread
+//! round-robin and the owning shard is encoded in the top bits of every DM
+//! virtual address and ref key, so later operations route without any
+//! shared state between cores.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use dmcommon::{CopyMode, DmError, DmResult, GlobalPid, PAGE_SIZE};
+use memsim::NodeMemory;
+use rpclib::{Rpc, RpcBuilder, RpcConfig};
+use simcore::{CpuPool, SimRng};
+use simnet::{Network, NodeId};
+
+use crate::page_manager::{OpCost, PageManager};
+use crate::proto::{self, err_response, ok_response, req, Reader, Writer};
+
+/// Top bits of DM virtual addresses / ref keys carry the owning shard.
+const SHARD_SHIFT: u32 = 48;
+const LOW_MASK: u64 = (1u64 << SHARD_SHIFT) - 1;
+
+/// DM server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DmServerConfig {
+    /// Pinned pool size in pages (default 64 Ki pages = 256 MiB), split
+    /// evenly across shards.
+    pub capacity_pages: usize,
+    /// COW (DmRPC) or eager copy (the `-copy` ablation).
+    pub copy_mode: CopyMode,
+    /// Worker cores serving DM requests when `shards == 1` (Fig. 7 uses 1).
+    pub cores: u64,
+    /// Memory-partitioned shards, one core each (paper §VI-C). 1 = a single
+    /// page manager served by `cores` cores.
+    pub shards: usize,
+    /// Fixed CPU cost per DM operation.
+    pub per_op_cpu: Duration,
+    /// CPU cost per page whose refcount / translation entry is updated.
+    pub per_page_cpu: Duration,
+    /// CPU cost of one software translation lookup.
+    pub translation_cpu: Duration,
+    /// Request-dispatch CPU charged on the owning shard when sharded (the
+    /// unsharded path charges it in the RPC layer instead).
+    pub dispatch_cpu: Duration,
+    /// Paper §V-A2 future work, implemented here as an option: "skip the
+    /// software-based translation by modifying OS and letting MMU translate
+    /// the DM virtual address directly to the physical address". When true,
+    /// translation lookups cost no CPU.
+    pub hw_translation: bool,
+}
+
+impl Default for DmServerConfig {
+    fn default() -> Self {
+        DmServerConfig {
+            capacity_pages: 65536,
+            copy_mode: CopyMode::CopyOnWrite,
+            cores: 4,
+            shards: 1,
+            per_op_cpu: Duration::from_nanos(300),
+            per_page_cpu: Duration::from_nanos(10),
+            translation_cpu: Duration::from_nanos(15),
+            dispatch_cpu: Duration::from_nanos(400),
+            hw_translation: false,
+        }
+    }
+}
+
+struct Shard {
+    pm: RefCell<PageManager>,
+    cpu: CpuPool,
+}
+
+/// A running DM server.
+pub struct DmServer {
+    shards: Vec<Shard>,
+    mem: NodeMemory,
+    rpc: Rc<Rpc>,
+    config: DmServerConfig,
+    next_alloc: Cell<usize>,
+    /// PID ownership: which endpoint registered each PID. Requests naming a
+    /// PID are only honored from its owner (process isolation — a buggy or
+    /// malicious service cannot free another process's regions).
+    owners: RefCell<std::collections::HashMap<u32, simnet::Addr>>,
+    translation_ns: Cell<u64>,
+    op_ns: Cell<u64>,
+}
+
+impl DmServer {
+    /// Start a DM server on `node`, listening on [`proto::DM_PORT`].
+    ///
+    /// Must be called inside the simulation.
+    pub fn start(
+        net: &Network,
+        node: NodeId,
+        mem: NodeMemory,
+        config: DmServerConfig,
+    ) -> Rc<DmServer> {
+        assert!(config.shards >= 1, "at least one shard");
+        let sharded = config.shards > 1;
+        let shards: Vec<Shard> = if sharded {
+            let per = config.capacity_pages / config.shards;
+            assert!(per > 0, "capacity too small for shard count");
+            (0..config.shards)
+                .map(|_| Shard {
+                    pm: RefCell::new(PageManager::new(per, config.copy_mode)),
+                    cpu: CpuPool::new(1),
+                })
+                .collect()
+        } else {
+            vec![Shard {
+                pm: RefCell::new(PageManager::new(config.capacity_pages, config.copy_mode)),
+                cpu: CpuPool::new(config.cores),
+            }]
+        };
+        let mut builder = RpcBuilder::new(net, node, proto::DM_PORT)
+            .config(RpcConfig {
+                // DMA lands directly in pinned pages; the data-path costs
+                // are charged explicitly via the memory model instead.
+                per_kb_cpu: Duration::ZERO,
+                ..RpcConfig::default()
+            })
+            .mem(mem.clone());
+        if !sharded {
+            // Unsharded: request dispatch runs on the shared core pool.
+            builder = builder.cpu(shards[0].cpu.clone());
+        }
+        let rpc = builder.build();
+        let server = Rc::new(DmServer {
+            shards,
+            mem,
+            rpc: rpc.clone(),
+            config,
+            next_alloc: Cell::new(0),
+            owners: RefCell::new(std::collections::HashMap::new()),
+            translation_ns: Cell::new(0),
+            op_ns: Cell::new(0),
+        });
+        server.register_handlers();
+        server
+    }
+
+    /// Tear down: unregister handlers so the `Rc` cycle through them is
+    /// broken and the server (and its page pool) can be freed.
+    pub fn shutdown(&self) {
+        self.rpc.shutdown();
+    }
+
+    /// The server's RPC address.
+    pub fn addr(&self) -> simnet::Addr {
+        self.rpc.addr()
+    }
+
+    /// The node memory model (traffic counters for Fig. 7c).
+    pub fn memory(&self) -> &NodeMemory {
+        &self.mem
+    }
+
+    /// Number of memory shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Access the page manager (tests and invariant checks).
+    ///
+    /// # Panics
+    /// Panics on a sharded server — use [`DmServer::check_invariants_all`],
+    /// [`DmServer::free_pages_total`] or [`DmServer::capacity_pages_total`].
+    pub fn with_page_manager<R>(&self, f: impl FnOnce(&mut PageManager) -> R) -> R {
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "sharded server: use the *_all accessors"
+        );
+        f(&mut self.shards[0].pm.borrow_mut())
+    }
+
+    /// Check every shard's invariants.
+    pub fn check_invariants_all(&self) {
+        for s in &self.shards {
+            s.pm.borrow().check_invariants();
+        }
+    }
+
+    /// Free pages across all shards.
+    pub fn free_pages_total(&self) -> usize {
+        self.shards.iter().map(|s| s.pm.borrow().free_pages()).sum()
+    }
+
+    /// Capacity across all shards.
+    pub fn capacity_pages_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pm.borrow().capacity_pages())
+            .sum()
+    }
+
+    /// Fraction of DM operation time spent in software address translation
+    /// (paper §V-A2 reports 0.17%).
+    pub fn translation_fraction(&self) -> f64 {
+        let total = self.op_ns.get();
+        if total == 0 {
+            return 0.0;
+        }
+        self.translation_ns.get() as f64 / total as f64
+    }
+
+    // -- shard routing -------------------------------------------------------
+
+    fn tag(&self, shard: usize, v: u64) -> u64 {
+        debug_assert!(v <= LOW_MASK, "value overflows shard tag space");
+        ((shard as u64) << SHARD_SHIFT) | v
+    }
+
+    fn route(&self, tagged: u64) -> DmResult<(usize, u64)> {
+        let shard = (tagged >> SHARD_SHIFT) as usize;
+        if shard >= self.shards.len() {
+            return Err(DmError::InvalidAddress);
+        }
+        Ok((shard, tagged & LOW_MASK))
+    }
+
+    /// Validate that `src` owns `pid`.
+    fn check_owner(&self, pid: GlobalPid, src: simnet::Addr) -> DmResult<()> {
+        match self.owners.borrow().get(&pid.0) {
+            Some(&owner) if owner == src => Ok(()),
+            _ => Err(DmError::InvalidAddress),
+        }
+    }
+
+    fn pick_alloc_shard(&self) -> usize {
+        let s = self.next_alloc.get();
+        self.next_alloc.set((s + 1) % self.shards.len());
+        s
+    }
+
+    /// Record data-path time in the op-time denominator (translation stat).
+    fn note_data_time(&self, bytes: u64) {
+        let t = self
+            .mem
+            .params()
+            .access_time(memsim::MemClass::Local, bytes);
+        self.op_ns.set(self.op_ns.get() + t.as_nanos() as u64);
+    }
+
+    /// Charge CPU for an operation on `shard` and record the translation
+    /// share. Page copies (COW / eager) occupy the serving core for the
+    /// duration of the copy, on top of the DRAM traffic they generate.
+    async fn charge(&self, shard: usize, cost: OpCost, translations: u64) {
+        let c = &self.config;
+        let translations = if c.hw_translation { 0 } else { translations };
+        let copy_time = if cost.bytes_copied > 0 {
+            self.mem.account(2 * cost.bytes_copied); // read + write traffic
+            self.mem.params().copy_time(cost.bytes_copied)
+        } else {
+            Duration::ZERO
+        };
+        let dispatch = if self.shards.len() > 1 {
+            c.dispatch_cpu
+        } else {
+            Duration::ZERO // charged by the RPC layer's core pool instead
+        };
+        let cpu_time = dispatch
+            + c.per_op_cpu
+            + c.per_page_cpu * (cost.refcount_updates + cost.pages_faulted) as u32
+            + c.translation_cpu * translations as u32
+            + copy_time;
+        self.shards[shard].cpu.execute(cpu_time).await;
+        self.translation_ns.set(
+            self.translation_ns.get() + (c.translation_cpu * translations as u32).as_nanos() as u64,
+        );
+        self.op_ns
+            .set(self.op_ns.get() + cpu_time.as_nanos() as u64);
+    }
+
+    fn register_handlers(self: &Rc<Self>) {
+        let types: &[u8] = &[
+            req::REGISTER,
+            req::ALLOC,
+            req::FREE,
+            req::CREATE_REF,
+            req::MAP_REF,
+            req::READ,
+            req::WRITE,
+            req::RELEASE_REF,
+            req::WRITE_CREATE_REF,
+            req::READ_REF,
+            req::PUT_REF,
+        ];
+        for &ty in types {
+            let srv = self.clone();
+            self.rpc.register(ty, move |ctx| {
+                let srv = srv.clone();
+                async move { srv.handle(ty, ctx.src, ctx.payload).await }
+            });
+        }
+    }
+
+    async fn handle(self: Rc<Self>, ty: u8, src: simnet::Addr, body: Bytes) -> Bytes {
+        match self.dispatch(ty, src, &body).await {
+            Ok(resp) => resp,
+            Err(e) => err_response(e),
+        }
+    }
+
+    async fn dispatch(&self, ty: u8, src: simnet::Addr, body: &Bytes) -> DmResult<Bytes> {
+        match ty {
+            req::REGISTER => {
+                // Register the process with every shard; page managers
+                // assign pids deterministically so the ids agree.
+                let pid = {
+                    let mut pid = None;
+                    for s in &self.shards {
+                        let p = s.pm.borrow_mut().register_process();
+                        match pid {
+                            None => pid = Some(p),
+                            Some(prev) => assert_eq!(prev, p, "shard pid divergence"),
+                        }
+                    }
+                    pid.expect("at least one shard")
+                };
+                self.owners.borrow_mut().insert(pid.0, src);
+                self.charge(0, OpCost::default(), 0).await;
+                Ok(ok_response(&Writer::new().pid(pid).finish()))
+            }
+            req::ALLOC => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let len = r.u64()?;
+                let shard = self.pick_alloc_shard();
+                let va = self.shards[shard].pm.borrow_mut().ralloc(pid, len)?;
+                self.charge(shard, OpCost::default(), 0).await;
+                Ok(ok_response(
+                    &Writer::new().u64(self.tag(shard, va)).finish(),
+                ))
+            }
+            req::FREE => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, va) = self.route(r.u64()?)?;
+                let cost = self.shards[shard].pm.borrow_mut().rfree(pid, va)?;
+                self.charge(shard, cost, cost.refcount_updates).await;
+                Ok(ok_response(&[]))
+            }
+            req::CREATE_REF => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, va) = self.route(r.u64()?)?;
+                let len = r.u64()?;
+                let (key, cost) = self.shards[shard]
+                    .pm
+                    .borrow_mut()
+                    .create_ref(pid, va, len)?;
+                let pages = len.div_ceil(PAGE_SIZE as u64);
+                self.charge(shard, cost, pages).await;
+                Ok(ok_response(
+                    &Writer::new().u64(self.tag(shard, key)).finish(),
+                ))
+            }
+            req::MAP_REF => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, key) = self.route(r.u64()?)?;
+                let (va, len, cost) = self.shards[shard].pm.borrow_mut().map_ref(pid, key)?;
+                self.charge(shard, cost, cost.refcount_updates).await;
+                Ok(ok_response(
+                    &Writer::new().u64(self.tag(shard, va)).u64(len).finish(),
+                ))
+            }
+            req::READ => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, va) = self.route(r.u64()?)?;
+                let len = r.u64()?;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let data = self.shards[shard].pm.borrow_mut().read(pid, va, len)?;
+                self.charge(shard, OpCost::default(), translations).await;
+                // Reading pinned pages into the response path occupies DRAM.
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(ok_response(&data))
+            }
+            req::WRITE => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, va) = self.route(r.u64()?)?;
+                let data = r.rest();
+                let translations = (data.len() as u64).div_ceil(PAGE_SIZE as u64).max(1);
+                let cost = self.shards[shard].pm.borrow_mut().write(pid, va, data)?;
+                self.charge(shard, cost, translations).await;
+                // Storing into pinned pages occupies DRAM.
+                self.mem.touch(data.len() as u64).await;
+                self.note_data_time(data.len() as u64);
+                Ok(ok_response(&[]))
+            }
+            req::RELEASE_REF => {
+                let mut r = Reader::new(body);
+                let (shard, key) = self.route(r.u64()?)?;
+                let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
+                self.charge(shard, cost, cost.refcount_updates).await;
+                Ok(ok_response(&[]))
+            }
+            req::WRITE_CREATE_REF => {
+                // Fast path: write the data and create the ref in one RTT.
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let (shard, va) = self.route(r.u64()?)?;
+                let data = r.rest();
+                let len = data.len() as u64;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let (key, wcost, ccost) = {
+                    let mut pm = self.shards[shard].pm.borrow_mut();
+                    let wcost = pm.write(pid, va, data)?;
+                    let (key, ccost) = pm.create_ref(pid, va, len)?;
+                    (key, wcost, ccost)
+                };
+                let mut cost = wcost;
+                cost.add(ccost);
+                self.charge(shard, cost, translations).await;
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(ok_response(
+                    &Writer::new().u64(self.tag(shard, key)).finish(),
+                ))
+            }
+            req::PUT_REF => {
+                let data = &body[..];
+                let len = data.len() as u64;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let shard = self.pick_alloc_shard();
+                let (key, cost) = self.shards[shard].pm.borrow_mut().put_ref(data)?;
+                self.charge(shard, cost, translations).await;
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(ok_response(
+                    &Writer::new().u64(self.tag(shard, key)).finish(),
+                ))
+            }
+            req::READ_REF => {
+                let mut r = Reader::new(body);
+                let (shard, key) = self.route(r.u64()?)?;
+                let off = r.u64()?;
+                let len = r.u64()?;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let data = self.shards[shard].pm.borrow_mut().read_ref(key, off, len)?;
+                self.charge(shard, OpCost::default(), translations).await;
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(ok_response(&data))
+            }
+            _ => Err(DmError::Malformed),
+        }
+    }
+}
+
+/// Start `n` DM servers on dedicated nodes; returns their addresses.
+/// Convenience used by benches ("We implement the global disaggregated
+/// memory pool using two servers", §VI-A).
+pub fn start_pool(
+    net: &Network,
+    nodes: &[NodeId],
+    params: &memsim::ModelParams,
+    config: DmServerConfig,
+) -> Vec<Rc<DmServer>> {
+    let _ = SimRng::new(0); // reserved for future jitter modeling
+    nodes
+        .iter()
+        .map(|&node| {
+            let mem = NodeMemory::with_defaults(format!("dm{}", node.0), params.clone());
+            DmServer::start(net, node, mem, config)
+        })
+        .collect()
+}

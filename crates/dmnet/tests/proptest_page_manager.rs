@@ -1,0 +1,221 @@
+//! Model-based property tests for the Page manager.
+//!
+//! A reference model tracks, in plain `Vec<u8>`s, what every live region
+//! and every live `Ref` snapshot must contain. Random operation sequences
+//! are applied to both the real [`PageManager`] and the model; after every
+//! step reads must agree, and the page-pool invariants (refcount
+//! conservation, free-list exclusivity) must hold.
+
+use dmcommon::{CopyMode, GlobalPid, PAGE_SIZE};
+use dmnet::PageManager;
+use proptest::prelude::*;
+
+const PS: u64 = PAGE_SIZE as u64;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc {
+        pages: u64,
+    },
+    Write {
+        region: usize,
+        off: u64,
+        len: usize,
+        fill: u8,
+    },
+    Read {
+        region: usize,
+        off: u64,
+        len: usize,
+    },
+    CreateRef {
+        region: usize,
+    },
+    MapRef {
+        r: usize,
+    },
+    ReadRefDirect {
+        r: usize,
+    },
+    Free {
+        region: usize,
+    },
+    ReleaseRef {
+        r: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..4).prop_map(|pages| Op::Alloc { pages }),
+        (0usize..8, 0u64..3 * PS, 1usize..2000, any::<u8>()).prop_map(
+            |(region, off, len, fill)| Op::Write {
+                region,
+                off,
+                len,
+                fill
+            }
+        ),
+        (0usize..8, 0u64..3 * PS, 1usize..2000).prop_map(|(region, off, len)| Op::Read {
+            region,
+            off,
+            len
+        }),
+        (0usize..8).prop_map(|region| Op::CreateRef { region }),
+        (0usize..8).prop_map(|r| Op::MapRef { r }),
+        (0usize..8).prop_map(|r| Op::ReadRefDirect { r }),
+        (0usize..8).prop_map(|region| Op::Free { region }),
+        (0usize..8).prop_map(|r| Op::ReleaseRef { r }),
+    ]
+}
+
+/// A live region in the model: its owner, VA, length, and expected bytes.
+struct ModelRegion {
+    pid: GlobalPid,
+    va: u64,
+    len: u64,
+    data: Vec<u8>,
+}
+
+/// A live ref in the model: key plus the immutable snapshot it must serve.
+struct ModelRef {
+    key: u64,
+    snapshot: Vec<u8>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_manager_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        copy_mode in prop_oneof![Just(CopyMode::CopyOnWrite), Just(CopyMode::Eager)],
+    ) {
+        let mut pm = PageManager::new(512, copy_mode);
+        let pid = pm.register_process();
+        let mapper = pm.register_process();
+        let mut regions: Vec<ModelRegion> = Vec::new();
+        let mut refs: Vec<ModelRef> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { pages } => {
+                    if let Ok(va) = pm.ralloc(pid, pages * PS) {
+                        regions.push(ModelRegion {
+                            pid,
+                            va,
+                            len: pages * PS,
+                            data: vec![0u8; (pages * PS) as usize],
+                        });
+                    }
+                }
+                Op::Write { region, off, len, fill } => {
+                    if regions.is_empty() { continue; }
+                    let idx = region % regions.len();
+                    let r = &mut regions[idx];
+                    if off + len as u64 > r.len { continue; }
+                    let buf = vec![fill; len];
+                    pm.write(r.pid, r.va + off, &buf).expect("in-bounds write");
+                    r.data[off as usize..off as usize + len].copy_from_slice(&buf);
+                }
+                Op::Read { region, off, len } => {
+                    if regions.is_empty() { continue; }
+                    let r = &regions[region % regions.len()];
+                    if off + len as u64 > r.len { continue; }
+                    let got = pm.read(r.pid, r.va + off, len as u64).expect("in-bounds read");
+                    prop_assert_eq!(&got[..], &r.data[off as usize..off as usize + len]);
+                }
+                Op::CreateRef { region } => {
+                    if regions.is_empty() { continue; }
+                    let r = &regions[region % regions.len()];
+                    if let Ok((key, _)) = pm.create_ref(r.pid, r.va, r.len) {
+                        refs.push(ModelRef { key, snapshot: r.data.clone() });
+                    }
+                }
+                Op::MapRef { r } => {
+                    if refs.is_empty() { continue; }
+                    let mr = &refs[r % refs.len()];
+                    if let Ok((va, len, _)) = pm.map_ref(mapper, mr.key) {
+                        // A new region for the mapper, seeded with the
+                        // snapshot (shared until written).
+                        regions.push(ModelRegion {
+                            pid: mapper,
+                            va,
+                            len,
+                            data: mr.snapshot.clone(),
+                        });
+                    }
+                }
+                Op::ReadRefDirect { r } => {
+                    if refs.is_empty() { continue; }
+                    let mr = &refs[r % refs.len()];
+                    let got = pm
+                        .read_ref(mr.key, 0, mr.snapshot.len() as u64)
+                        .expect("ref read");
+                    prop_assert_eq!(&got[..], &mr.snapshot[..]);
+                }
+                Op::Free { region } => {
+                    if regions.is_empty() { continue; }
+                    let idx = region % regions.len();
+                    let r = regions.remove(idx);
+                    pm.rfree(r.pid, r.va).expect("free live region");
+                }
+                Op::ReleaseRef { r } => {
+                    if refs.is_empty() { continue; }
+                    let idx = r % refs.len();
+                    let mr = refs.remove(idx);
+                    pm.release_ref(mr.key).expect("release live ref");
+                }
+            }
+            pm.check_invariants();
+        }
+
+        // Every ref snapshot must still read back exactly, no matter what
+        // writes happened elsewhere (COW isolation).
+        for mr in &refs {
+            let got = pm.read_ref(mr.key, 0, mr.snapshot.len() as u64).expect("ref read");
+            prop_assert_eq!(&got[..], &mr.snapshot[..]);
+        }
+        // And every live region must still read back its model contents.
+        for r in &regions {
+            let got = pm.read(r.pid, r.va, r.len).expect("region read");
+            prop_assert_eq!(&got[..], &r.data[..]);
+        }
+
+        // Tear everything down: the pool must fully recover.
+        for r in regions {
+            pm.rfree(r.pid, r.va).expect("final free");
+        }
+        for mr in refs {
+            pm.release_ref(mr.key).expect("final release");
+        }
+        pm.check_invariants();
+        prop_assert_eq!(pm.free_pages(), pm.capacity_pages());
+    }
+
+    #[test]
+    fn va_allocations_never_overlap(
+        sizes in proptest::collection::vec(1u64..100_000, 1..40),
+        free_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut pm = PageManager::new(16, CopyMode::CopyOnWrite);
+        let pid = pm.register_process();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            if let Ok(va) = pm.ralloc(pid, sz) {
+                let len = sz.div_ceil(PS) * PS;
+                for &(ova, olen) in &live {
+                    prop_assert!(
+                        va + len <= ova || ova + olen <= va,
+                        "overlap: [{va},{}) vs [{ova},{})", va + len, ova + olen
+                    );
+                }
+                live.push((va, len));
+            }
+            if free_mask.get(i).copied().unwrap_or(false) && !live.is_empty() {
+                let (va, _) = live.remove(i % live.len());
+                pm.rfree(pid, va).expect("free");
+            }
+        }
+    }
+}

@@ -1,0 +1,833 @@
+//! # rpclib — an eRPC-style datacenter RPC library on the simulated fabric
+//!
+//! Reimplements the structure of eRPC (Kalia et al., NSDI'19), the paper's
+//! baseline and the control channel under DmRPC:
+//!
+//! * **datagram transport** — packets ride raw (simulated) UDP; reliability
+//!   is client-driven: the client retransmits the whole request after an RTO
+//!   until the response arrives (eRPC's "re-transmissions only at clients");
+//! * **MTU fragmentation** — messages are split into MTU-sized fragments and
+//!   reassembled on the receiver ([`wire`]);
+//! * **asynchronous nested handlers** — a handler is an async function that
+//!   may itself issue RPCs, which is how microservice chains are built;
+//! * **response cache** — the server caches response packets per
+//!   `(client, req_num)` until the client's ACK, so duplicate requests are
+//!   answered without re-executing the handler (at-most-once execution for
+//!   the common retransmission races).
+//!
+//! Cost model hooks: an optional [`CpuPool`] charges per-request dispatch
+//! CPU, and an optional [`NodeMemory`] accounts DMA memory traffic for every
+//! payload byte sent and received — this is what makes *pass-by-value*
+//! forwarding visibly expensive on data-mover nodes (paper Fig. 6b).
+
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use memsim::NodeMemory;
+use simcore::sync::{oneshot, Semaphore};
+use simcore::{Counter, CpuPool, Histogram};
+use simnet::{Addr, Network, NodeId};
+use wire::{fragment, Header, Kind, Reassembly};
+
+/// Errors surfaced to RPC callers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RpcError {
+    /// The request was retransmitted `max_retries` times without a response.
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timeout"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// RPC layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcConfig {
+    /// Payload bytes per packet (eRPC uses large MTUs on lossless fabrics).
+    pub mtu: usize,
+    /// Base retransmission timeout.
+    pub rto: Duration,
+    /// Additional RTO per request fragment, so multi-packet messages whose
+    /// transmission time exceeds the base RTO are not spuriously
+    /// retransmitted (effective RTO = `rto + rto_per_packet * num_pkts`).
+    pub rto_per_packet: Duration,
+    /// Retransmissions before giving up with [`RpcError::Timeout`].
+    pub max_retries: u32,
+    /// Per-request server-side dispatch CPU cost (charged on the node's
+    /// [`CpuPool`] when one is attached).
+    pub per_rpc_cpu: Duration,
+    /// Additional dispatch CPU per KiB of request payload — the
+    /// serialization/copy work a single-threaded service spends on
+    /// pass-by-value arguments (~1 us for a 4 KiB argument by default).
+    pub per_kb_cpu: Duration,
+    /// Cached responses kept while awaiting client ACKs.
+    pub resp_cache_capacity: usize,
+    /// Optional flow control: cap on this endpoint's concurrent outstanding
+    /// requests per destination (eRPC-style session credits, at request
+    /// granularity). `None` = unlimited. Bounding this prevents incast
+    /// collapse when many workers hammer one server.
+    pub max_inflight_per_peer: Option<u64>,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            mtu: 4096,
+            // eRPC's default RTO is in the milliseconds; retransmission is
+            // for loss recovery, not load shedding — keep it well above any
+            // queueing delay a loaded closed-loop run can produce.
+            rto: Duration::from_millis(20),
+            rto_per_packet: Duration::from_micros(20),
+            max_retries: 10,
+            per_rpc_cpu: Duration::from_nanos(400),
+            per_kb_cpu: Duration::from_nanos(400),
+            resp_cache_capacity: 128,
+            max_inflight_per_peer: None,
+        }
+    }
+}
+
+/// Context handed to request handlers.
+pub struct CallCtx {
+    /// The local RPC object (for nested calls).
+    pub rpc: Rc<Rpc>,
+    /// The caller's address.
+    pub src: Addr,
+    /// Request type the caller used.
+    pub req_type: u8,
+    /// Full request payload.
+    pub payload: Bytes,
+}
+
+/// Boxed handler future.
+pub type HandlerFuture = Pin<Box<dyn Future<Output = Bytes>>>;
+/// A registered request handler.
+pub type Handler = Rc<dyn Fn(CallCtx) -> HandlerFuture>;
+
+struct Pending {
+    reassembly: Option<Reassembly>,
+    done: Option<oneshot::Sender<Result<Bytes, RpcError>>>,
+}
+
+/// Recently-completed request keys: a set for O(1) dedup plus FIFO order
+/// for bounded eviction.
+type CompletedLru = (HashSet<(Addr, u64)>, VecDeque<(Addr, u64)>);
+
+struct RespCache {
+    map: HashMap<(Addr, u64), Rc<Vec<Bytes>>>,
+    order: VecDeque<(Addr, u64)>,
+    capacity: usize,
+}
+
+impl RespCache {
+    fn insert(&mut self, key: (Addr, u64), pkts: Rc<Vec<Bytes>>) {
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        if self.map.insert(key, pkts).is_none() {
+            self.order.push_back(key);
+        }
+    }
+
+    fn get(&self, key: &(Addr, u64)) -> Option<Rc<Vec<Bytes>>> {
+        self.map.get(key).cloned()
+    }
+
+    fn remove(&mut self, key: &(Addr, u64)) {
+        self.map.remove(key);
+        // `order` entry is lazily discarded on eviction.
+    }
+}
+
+/// Counters exposed for tests and reports.
+#[derive(Clone, Default)]
+pub struct RpcStats {
+    /// Completed outgoing calls.
+    pub calls_completed: Counter,
+    /// Request retransmissions performed.
+    pub retransmits: Counter,
+    /// Requests whose handler ran on this node.
+    pub requests_handled: Counter,
+    /// Calls that ended in timeout.
+    pub timeouts: Counter,
+}
+
+/// One RPC endpoint: client and server in a single object (services issue
+/// nested calls from inside handlers).
+pub struct Rpc {
+    net: Network,
+    addr: Addr,
+    config: RpcConfig,
+    cpu: Option<CpuPool>,
+    mem: Option<NodeMemory>,
+    handlers: RefCell<HashMap<u8, Handler>>,
+    next_req: Cell<u64>,
+    pending: RefCell<HashMap<u64, Pending>>,
+    inflight_reqs: RefCell<HashMap<(Addr, u64), Reassembly>>,
+    executing: RefCell<HashSet<(Addr, u64)>>,
+    completed: RefCell<CompletedLru>,
+    resp_cache: RefCell<RespCache>,
+    stats: RpcStats,
+    handler_times: RefCell<HashMap<u8, Histogram>>,
+    peer_credits: RefCell<HashMap<Addr, Semaphore>>,
+    is_shutdown: Cell<bool>,
+}
+
+/// Builder for [`Rpc`].
+pub struct RpcBuilder {
+    net: Network,
+    node: NodeId,
+    port: u16,
+    config: RpcConfig,
+    cpu: Option<CpuPool>,
+    mem: Option<NodeMemory>,
+}
+
+impl RpcBuilder {
+    /// Start building an RPC endpoint bound to `node:port`.
+    pub fn new(net: &Network, node: NodeId, port: u16) -> RpcBuilder {
+        RpcBuilder {
+            net: net.clone(),
+            node,
+            port,
+            config: RpcConfig::default(),
+            cpu: None,
+            mem: None,
+        }
+    }
+
+    /// Override the configuration.
+    pub fn config(mut self, config: RpcConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach a CPU pool charged per handled request.
+    pub fn cpu(mut self, cpu: CpuPool) -> Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Attach a node memory model: DMA traffic is accounted for every
+    /// payload byte sent or received by this endpoint.
+    pub fn mem(mut self, mem: NodeMemory) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Bind the endpoint and start the dispatch loop.
+    ///
+    /// Must be called from inside the simulation (it spawns a task).
+    pub fn build(self) -> Rc<Rpc> {
+        let endpoint = self.net.bind(self.node, self.port);
+        let rpc = Rc::new(Rpc {
+            net: self.net,
+            addr: endpoint.addr(),
+            config: self.config,
+            cpu: self.cpu,
+            mem: self.mem,
+            handlers: RefCell::new(HashMap::new()),
+            next_req: Cell::new(1),
+            pending: RefCell::new(HashMap::new()),
+            inflight_reqs: RefCell::new(HashMap::new()),
+            executing: RefCell::new(HashSet::new()),
+            completed: RefCell::new((HashSet::new(), VecDeque::new())),
+            resp_cache: RefCell::new(RespCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: self.config.resp_cache_capacity,
+            }),
+            stats: RpcStats::default(),
+            handler_times: RefCell::new(HashMap::new()),
+            peer_credits: RefCell::new(HashMap::new()),
+            is_shutdown: Cell::new(false),
+        });
+        let loop_rpc = rpc.clone();
+        simcore::spawn(async move {
+            let mut ep = endpoint;
+            loop {
+                let dgram = ep.recv().await;
+                loop_rpc.handle_packet(dgram);
+            }
+        });
+        rpc
+    }
+}
+
+impl Rpc {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Stats counters.
+    pub fn stats(&self) -> &RpcStats {
+        &self.stats
+    }
+
+    /// Per-`req_type` handler service-time histogram (ns), recorded from
+    /// dispatch (post-CPU-queue) to response send. Powers per-tier latency
+    /// breakdowns in the examples and benches.
+    pub fn handler_time(&self, req_type: u8) -> Option<Histogram> {
+        self.handler_times.borrow().get(&req_type).cloned()
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &RpcConfig {
+        &self.config
+    }
+
+    /// Drop every registered handler and cached response. Handlers close
+    /// over application state (which usually closes back over this `Rpc`),
+    /// so explicit teardown is what breaks the `Rc` cycle when a simulated
+    /// deployment is discarded.
+    pub fn shutdown(&self) {
+        self.is_shutdown.set(true);
+        self.handlers.borrow_mut().clear();
+        let mut cache = self.resp_cache.borrow_mut();
+        cache.map.clear();
+        cache.order.clear();
+        self.inflight_reqs.borrow_mut().clear();
+    }
+
+    /// Register the handler for `req_type`, replacing any previous one.
+    pub fn register<F, Fut>(&self, req_type: u8, f: F)
+    where
+        F: Fn(CallCtx) -> Fut + 'static,
+        Fut: Future<Output = Bytes> + 'static,
+    {
+        self.handlers
+            .borrow_mut()
+            .insert(req_type, Rc::new(move |ctx| Box::pin(f(ctx))));
+    }
+
+    /// Issue a request and await the response.
+    pub async fn call(
+        self: &Rc<Self>,
+        dst: Addr,
+        req_type: u8,
+        payload: Bytes,
+    ) -> Result<Bytes, RpcError> {
+        // Optional per-peer flow control (session credits).
+        let _credit = match self.config.max_inflight_per_peer {
+            Some(n) => {
+                let sem = self
+                    .peer_credits
+                    .borrow_mut()
+                    .entry(dst)
+                    .or_insert_with(|| Semaphore::new(n))
+                    .clone();
+                Some(sem.acquire_one().await)
+            }
+            None => None,
+        };
+        let req_num = self.next_req.get();
+        self.next_req.set(req_num + 1);
+        let pkts = Rc::new(fragment(
+            Kind::Request,
+            req_type,
+            req_num,
+            &payload,
+            self.config.mtu,
+        ));
+        if let Some(mem) = &self.mem {
+            mem.account(payload.len() as u64); // tx DMA
+        }
+        let (done_tx, done_rx) = oneshot::channel();
+        self.pending.borrow_mut().insert(
+            req_num,
+            Pending {
+                reassembly: None,
+                done: Some(done_tx),
+            },
+        );
+        for p in pkts.iter() {
+            self.net.send_datagram(self.addr, dst, p.clone());
+        }
+
+        // Client-driven retransmission watchdog.
+        let rpc = self.clone();
+        let watch_pkts = pkts.clone();
+        simcore::spawn(async move {
+            let mut retries = 0;
+            let rto = rpc.config.rto + rpc.config.rto_per_packet * (watch_pkts.len() as u32);
+            loop {
+                simcore::sleep(rto).await;
+                if !rpc.pending.borrow().contains_key(&req_num) {
+                    return; // completed
+                }
+                if retries >= rpc.config.max_retries {
+                    if let Some(mut p) = rpc.pending.borrow_mut().remove(&req_num) {
+                        if let Some(done) = p.done.take() {
+                            let _ = done.send(Err(RpcError::Timeout));
+                        }
+                    }
+                    rpc.stats.timeouts.incr();
+                    return;
+                }
+                retries += 1;
+                rpc.stats.retransmits.incr();
+                for p in watch_pkts.iter() {
+                    rpc.net.send_datagram(rpc.addr, dst, p.clone());
+                }
+            }
+        });
+
+        let result = done_rx.await.expect("pending entry never dropped silently");
+        if let Ok(resp) = &result {
+            if let Some(mem) = &self.mem {
+                mem.account(resp.len() as u64); // rx DMA
+            }
+            // ACK lets the server drop its cached response.
+            let ack = Header {
+                kind: Kind::Ack,
+                req_type,
+                req_num,
+                pkt_idx: 0,
+                num_pkts: 1,
+                msg_len: 0,
+            }
+            .encode(&[]);
+            self.net.send_datagram(self.addr, dst, ack);
+            self.stats.calls_completed.incr();
+        }
+        result
+    }
+
+    fn mark_completed(&self, key: (Addr, u64)) {
+        let mut c = self.completed.borrow_mut();
+        if c.0.insert(key) {
+            c.1.push_back(key);
+            if c.1.len() > 4096 {
+                if let Some(old) = c.1.pop_front() {
+                    c.0.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn handle_packet(self: &Rc<Self>, dgram: simnet::Datagram) {
+        let Some((hdr, frag)) = Header::decode(&dgram.payload) else {
+            return;
+        };
+        match hdr.kind {
+            Kind::Request => self.handle_request_pkt(dgram.src, hdr, frag),
+            Kind::Response => self.handle_response_pkt(hdr, frag),
+            Kind::Ack => {
+                let key = (dgram.src, hdr.req_num);
+                self.resp_cache.borrow_mut().remove(&key);
+                self.mark_completed(key);
+            }
+        }
+    }
+
+    fn handle_request_pkt(self: &Rc<Self>, src: Addr, hdr: Header, frag: Bytes) {
+        let key = (src, hdr.req_num);
+        // Duplicate of a request we already answered: resend cached packets.
+        if let Some(pkts) = self.resp_cache.borrow().get(&key) {
+            for p in pkts.iter() {
+                self.net.send_datagram(self.addr, src, p.clone());
+            }
+            return;
+        }
+        if self.executing.borrow().contains(&key) || self.completed.borrow().0.contains(&key) {
+            return;
+        }
+        let complete = {
+            let mut inflight = self.inflight_reqs.borrow_mut();
+            match inflight.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get_mut().offer(&hdr, frag) {
+                        Some(e.remove().assemble())
+                    } else {
+                        None
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let r = Reassembly::new(&hdr, frag);
+                    if r.is_complete() {
+                        Some(r.assemble())
+                    } else {
+                        v.insert(r);
+                        None
+                    }
+                }
+            }
+        };
+        let Some(payload) = complete else { return };
+        self.executing.borrow_mut().insert(key);
+        if let Some(mem) = &self.mem {
+            mem.account(payload.len() as u64); // rx DMA
+        }
+        let rpc = self.clone();
+        simcore::spawn(async move {
+            if let Some(cpu) = &rpc.cpu {
+                let kib = (payload.len() as u64).div_ceil(1024) as u32;
+                cpu.execute(rpc.config.per_rpc_cpu + rpc.config.per_kb_cpu * kib)
+                    .await;
+            }
+            let handler = rpc.handlers.borrow().get(&hdr.req_type).cloned();
+            let Some(handler) = handler else {
+                if rpc.is_shutdown.get() {
+                    // Late requests during teardown are silently dropped.
+                    rpc.executing.borrow_mut().remove(&key);
+                    return;
+                }
+                panic!("no handler for req_type {} at {}", hdr.req_type, rpc.addr);
+            };
+            let h_start = simcore::now();
+            let resp = handler(CallCtx {
+                rpc: rpc.clone(),
+                src,
+                req_type: hdr.req_type,
+                payload,
+            })
+            .await;
+            rpc.handler_times
+                .borrow_mut()
+                .entry(hdr.req_type)
+                .or_default()
+                .record((simcore::now() - h_start).as_nanos() as u64);
+            rpc.stats.requests_handled.incr();
+            if let Some(mem) = &rpc.mem {
+                mem.account(resp.len() as u64); // tx DMA
+            }
+            let pkts = Rc::new(fragment(
+                Kind::Response,
+                hdr.req_type,
+                hdr.req_num,
+                &resp,
+                rpc.config.mtu,
+            ));
+            rpc.resp_cache.borrow_mut().insert(key, pkts.clone());
+            rpc.executing.borrow_mut().remove(&key);
+            for p in pkts.iter() {
+                rpc.net.send_datagram(rpc.addr, src, p.clone());
+            }
+        });
+    }
+
+    fn handle_response_pkt(&self, hdr: Header, frag: Bytes) {
+        let mut pending = self.pending.borrow_mut();
+        let Some(p) = pending.get_mut(&hdr.req_num) else {
+            return; // stale duplicate after completion
+        };
+        let complete = match &mut p.reassembly {
+            Some(r) => r.offer(&hdr, frag),
+            None => {
+                let r = Reassembly::new(&hdr, frag);
+                let c = r.is_complete();
+                p.reassembly = Some(r);
+                c
+            }
+        };
+        if complete {
+            let mut p = pending.remove(&hdr.req_num).expect("present");
+            let body = p.reassembly.take().expect("reassembly set").assemble();
+            if let Some(done) = p.done.take() {
+                let _ = done.send(Ok(body));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::ModelParams;
+    use simcore::Sim;
+    use simnet::{FabricConfig, NicConfig};
+
+    fn setup(n: usize) -> (Sim, Network, Vec<NodeId>) {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let nodes = (0..n)
+            .map(|i| net.add_node(format!("n{i}"), NicConfig::default()))
+            .collect();
+        (sim, net, nodes)
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (sim, net, nodes) = setup(2);
+        let t = sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |ctx| async move { ctx.payload });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            let resp = client
+                .call(server.addr(), 1, Bytes::from_static(b"ping"))
+                .await
+                .unwrap();
+            assert_eq!(&resp[..], b"ping");
+            simcore::now()
+        });
+        // Small RPC should complete in a few microseconds, like eRPC.
+        assert!(t.nanos() < 5_000, "echo took {t}");
+    }
+
+    #[test]
+    fn large_message_fragmentation() {
+        let (sim, net, nodes) = setup(2);
+        sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |ctx| async move {
+                // Reverse the payload to prove the server saw all bytes.
+                let mut v = ctx.payload.to_vec();
+                v.reverse();
+                Bytes::from(v)
+            });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            let req: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+            let mut expect = req.clone();
+            expect.reverse();
+            let resp = client
+                .call(server.addr(), 1, Bytes::from(req))
+                .await
+                .unwrap();
+            assert_eq!(&resp[..], &expect[..]);
+        });
+    }
+
+    #[test]
+    fn nested_calls_three_hops() {
+        let (sim, net, nodes) = setup(3);
+        sim.block_on(async move {
+            let c_addr;
+            {
+                let c = RpcBuilder::new(&net, nodes[2], 10).build();
+                c_addr = c.addr();
+                c.register(1, |ctx| async move {
+                    let mut v = ctx.payload.to_vec();
+                    v.push(b'c');
+                    Bytes::from(v)
+                });
+            }
+            let b = RpcBuilder::new(&net, nodes[1], 10).build();
+            let b_addr = b.addr();
+            b.register(1, move |ctx| async move {
+                let mut v = ctx.payload.to_vec();
+                v.push(b'b');
+                ctx.rpc.call(c_addr, 1, Bytes::from(v)).await.unwrap()
+            });
+            let a = RpcBuilder::new(&net, nodes[0], 10).build();
+            let resp = a.call(b_addr, 1, Bytes::from_static(b"a")).await.unwrap();
+            assert_eq!(&resp[..], b"abc");
+        });
+    }
+
+    #[test]
+    fn many_concurrent_calls() {
+        let (sim, net, nodes) = setup(2);
+        let counts = sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |ctx| async move {
+                simcore::sleep(Duration::from_micros(1)).await;
+                ctx.payload
+            });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            let mut handles = Vec::new();
+            for i in 0..100u32 {
+                let client = client.clone();
+                let dst = server.addr();
+                handles.push(simcore::spawn(async move {
+                    let resp = client
+                        .call(dst, 1, Bytes::from(i.to_le_bytes().to_vec()))
+                        .await
+                        .unwrap();
+                    u32::from_le_bytes(resp[..4].try_into().unwrap())
+                }));
+            }
+            let mut got = Vec::new();
+            for h in handles {
+                got.push(h.await);
+            }
+            got
+        });
+        assert_eq!(counts, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn retransmission_recovers_from_loss() {
+        let (sim, net, nodes) = setup(2);
+        net.set_loss_probability(0.05);
+        let net2 = net.clone();
+        let stats = sim.block_on(async move {
+            let server = RpcBuilder::new(&net2, nodes[1], 10).build();
+            server.register(1, |ctx| async move { ctx.payload });
+            let client = RpcBuilder::new(&net2, nodes[0], 10).build();
+            for i in 0..200u32 {
+                let payload = Bytes::from(vec![i as u8; 10_000]);
+                let resp = client
+                    .call(server.addr(), 1, payload.clone())
+                    .await
+                    .unwrap();
+                assert_eq!(resp, payload, "call {i}");
+            }
+            client.stats().clone()
+        });
+        assert_eq!(stats.calls_completed.get(), 200);
+        assert!(stats.retransmits.get() > 0, "loss must cause retransmits");
+        assert!(net.dropped_loss() > 0);
+    }
+
+    #[test]
+    fn timeout_on_unreachable_server() {
+        let (sim, net, nodes) = setup(2);
+        let r = sim.block_on(async move {
+            let client = RpcBuilder::new(&net, nodes[0], 10)
+                .config(RpcConfig {
+                    rto: Duration::from_micros(10),
+                    max_retries: 2,
+                    ..Default::default()
+                })
+                .build();
+            client
+                .call(
+                    Addr {
+                        node: nodes[1],
+                        port: 99,
+                    },
+                    1,
+                    Bytes::from_static(b"x"),
+                )
+                .await
+        });
+        assert_eq!(r, Err(RpcError::Timeout));
+    }
+
+    #[test]
+    fn memory_traffic_accounted_on_both_sides() {
+        let (sim, net, nodes) = setup(2);
+        let params = ModelParams::new();
+        let mem_c = NodeMemory::with_defaults("c", params.clone());
+        let mem_s = NodeMemory::with_defaults("s", params);
+        let (mc, ms) = (mem_c.clone(), mem_s.clone());
+        sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).mem(ms).build();
+            server.register(1, |_| async move { Bytes::from(vec![0u8; 100]) });
+            let client = RpcBuilder::new(&net, nodes[0], 10).mem(mc).build();
+            client
+                .call(server.addr(), 1, Bytes::from(vec![0u8; 1000]))
+                .await
+                .unwrap();
+        });
+        // Client: 1000B tx + 100B rx; server: 1000B rx + 100B tx.
+        assert_eq!(mem_c.traffic_bytes(), 1100);
+        assert_eq!(mem_s.traffic_bytes(), 1100);
+    }
+
+    #[test]
+    fn cpu_pool_bounds_server_throughput() {
+        let (sim, net, nodes) = setup(2);
+        let cpu = CpuPool::new(1);
+        let cpu2 = cpu.clone();
+        let elapsed = sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10)
+                .config(RpcConfig {
+                    per_rpc_cpu: Duration::from_micros(10),
+                    ..Default::default()
+                })
+                .cpu(cpu2)
+                .build();
+            server.register(1, |ctx| async move { ctx.payload });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            let start = simcore::now();
+            let mut handles = Vec::new();
+            for _ in 0..10 {
+                let client = client.clone();
+                let dst = server.addr();
+                handles.push(simcore::spawn(async move {
+                    client.call(dst, 1, Bytes::from_static(b"x")).await.unwrap();
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            simcore::now() - start
+        });
+        // 10 requests serialized on 1 core at 10us each >= 100us.
+        assert!(elapsed >= Duration::from_micros(100), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn handler_time_histograms_recorded() {
+        let (sim, net, nodes) = setup(2);
+        sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |ctx| async move {
+                simcore::sleep(Duration::from_micros(7)).await;
+                ctx.payload
+            });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            for _ in 0..10 {
+                client
+                    .call(server.addr(), 1, Bytes::from_static(b"x"))
+                    .await
+                    .unwrap();
+            }
+            let h = server.handler_time(1).expect("recorded");
+            assert_eq!(h.count(), 10);
+            assert!((h.mean() - 7_000.0).abs() < 100.0, "mean {}", h.mean());
+            assert!(server.handler_time(2).is_none());
+        });
+    }
+
+    #[test]
+    fn deterministic_run_fingerprint() {
+        fn once() -> (u64, u64) {
+            let (sim, net, nodes) = setup(2);
+            net.set_loss_probability(0.02);
+            sim.block_on(async move {
+                let server = RpcBuilder::new(&net, nodes[1], 10).build();
+                server.register(1, |ctx| async move { ctx.payload });
+                let client = RpcBuilder::new(&net, nodes[0], 10).build();
+                for _ in 0..50 {
+                    client
+                        .call(server.addr(), 1, Bytes::from(vec![7u8; 5000]))
+                        .await
+                        .unwrap();
+                }
+            });
+            (sim.poll_count(), sim.now().nanos())
+        }
+        assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn distinct_req_types_dispatch_to_distinct_handlers() {
+        let (sim, net, nodes) = setup(2);
+        sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |_| async { Bytes::from_static(b"one") });
+            server.register(2, |_| async { Bytes::from_static(b"two") });
+            let client = RpcBuilder::new(&net, nodes[0], 10).build();
+            let r1 = client.call(server.addr(), 1, Bytes::new()).await.unwrap();
+            let r2 = client.call(server.addr(), 2, Bytes::new()).await.unwrap();
+            assert_eq!(&r1[..], b"one");
+            assert_eq!(&r2[..], b"two");
+        });
+    }
+}

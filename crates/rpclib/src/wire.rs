@@ -1,0 +1,275 @@
+//! Wire format: a fixed 20-byte packet header followed by a payload
+//! fragment.
+//!
+//! Mirrors eRPC's design: messages are fragmented into MTU-sized packets;
+//! the header carries the request number, fragment index and total message
+//! length so the receiver can reassemble out-of-order fragments.
+
+use bytes::{Bytes, BytesMut};
+
+/// Packet kind discriminator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Request fragment (client → server).
+    Request = 1,
+    /// Response fragment (server → client).
+    Response = 2,
+    /// Response acknowledged; server may drop its cached response.
+    Ack = 3,
+}
+
+impl Kind {
+    fn from_u8(v: u8) -> Option<Kind> {
+        match v {
+            1 => Some(Kind::Request),
+            2 => Some(Kind::Response),
+            3 => Some(Kind::Ack),
+            _ => None,
+        }
+    }
+}
+
+/// Magic byte guarding against stray datagrams.
+pub const MAGIC: u8 = 0xD7;
+
+/// Serialized header size in bytes.
+pub const HEADER_BYTES: usize = 20;
+
+/// Parsed packet header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// Packet kind.
+    pub kind: Kind,
+    /// Request handler type (application-level method id).
+    pub req_type: u8,
+    /// Client-assigned request number (unique per client endpoint).
+    pub req_num: u64,
+    /// Fragment index in `[0, num_pkts)`.
+    pub pkt_idx: u16,
+    /// Total number of fragments in the message.
+    pub num_pkts: u16,
+    /// Total message length in bytes.
+    pub msg_len: u32,
+}
+
+impl Header {
+    /// Encode the header and append the fragment payload.
+    pub fn encode(&self, fragment: &[u8]) -> Bytes {
+        let mut b = BytesMut::with_capacity(HEADER_BYTES + fragment.len());
+        b.extend_from_slice(&[MAGIC, self.kind as u8, self.req_type, 0]);
+        b.extend_from_slice(&self.req_num.to_le_bytes());
+        b.extend_from_slice(&self.pkt_idx.to_le_bytes());
+        b.extend_from_slice(&self.num_pkts.to_le_bytes());
+        b.extend_from_slice(&self.msg_len.to_le_bytes());
+        b.extend_from_slice(fragment);
+        b.freeze()
+    }
+
+    /// Decode a packet into `(header, fragment)`. Returns `None` for
+    /// malformed packets (wrong magic, short, unknown kind).
+    pub fn decode(packet: &Bytes) -> Option<(Header, Bytes)> {
+        if packet.len() < HEADER_BYTES || packet[0] != MAGIC {
+            return None;
+        }
+        let kind = Kind::from_u8(packet[1])?;
+        let req_type = packet[2];
+        let req_num = u64::from_le_bytes(packet[4..12].try_into().ok()?);
+        let pkt_idx = u16::from_le_bytes(packet[12..14].try_into().ok()?);
+        let num_pkts = u16::from_le_bytes(packet[14..16].try_into().ok()?);
+        let msg_len = u32::from_le_bytes(packet[16..20].try_into().ok()?);
+        if pkt_idx >= num_pkts {
+            return None;
+        }
+        Some((
+            Header {
+                kind,
+                req_type,
+                req_num,
+                pkt_idx,
+                num_pkts,
+                msg_len,
+            },
+            packet.slice(HEADER_BYTES..),
+        ))
+    }
+}
+
+/// Fragment `payload` into MTU-sized packets with the given header template.
+/// Always emits at least one packet (possibly empty payload).
+pub fn fragment(kind: Kind, req_type: u8, req_num: u64, payload: &Bytes, mtu: usize) -> Vec<Bytes> {
+    assert!(mtu > 0, "mtu must be positive");
+    let num_pkts = payload.len().div_ceil(mtu).max(1);
+    assert!(
+        num_pkts <= u16::MAX as usize,
+        "message too large for u16 fragment count"
+    );
+    let mut out = Vec::with_capacity(num_pkts);
+    for i in 0..num_pkts {
+        let lo = i * mtu;
+        let hi = ((i + 1) * mtu).min(payload.len());
+        let hdr = Header {
+            kind,
+            req_type,
+            req_num,
+            pkt_idx: i as u16,
+            num_pkts: num_pkts as u16,
+            msg_len: payload.len() as u32,
+        };
+        out.push(hdr.encode(&payload[lo..hi]));
+    }
+    out
+}
+
+/// Incremental message reassembly from fragments.
+pub struct Reassembly {
+    slots: Vec<Option<Bytes>>,
+    received: usize,
+    msg_len: u32,
+}
+
+impl Reassembly {
+    /// Start reassembly from the first fragment seen (any index).
+    pub fn new(hdr: &Header, frag: Bytes) -> Reassembly {
+        let mut r = Reassembly {
+            slots: vec![None; hdr.num_pkts as usize],
+            received: 0,
+            msg_len: hdr.msg_len,
+        };
+        r.offer(hdr, frag);
+        r
+    }
+
+    /// Offer a fragment; duplicates are ignored. Returns `true` when the
+    /// message is complete.
+    pub fn offer(&mut self, hdr: &Header, frag: Bytes) -> bool {
+        let idx = hdr.pkt_idx as usize;
+        if idx < self.slots.len() && self.slots[idx].is_none() {
+            self.slots[idx] = Some(frag);
+            self.received += 1;
+        }
+        self.is_complete()
+    }
+
+    /// Whether all fragments have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.slots.len()
+    }
+
+    /// Concatenate the fragments into the full message.
+    ///
+    /// # Panics
+    /// Panics if the message is not complete.
+    pub fn assemble(self) -> Bytes {
+        assert!(self.is_complete(), "assembling incomplete message");
+        if self.slots.len() == 1 {
+            return self
+                .slots
+                .into_iter()
+                .next()
+                .flatten()
+                .expect("slot filled");
+        }
+        let mut out = BytesMut::with_capacity(self.msg_len as usize);
+        for s in self.slots {
+            out.extend_from_slice(&s.expect("slot filled"));
+        }
+        out.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(kind: Kind) -> Header {
+        Header {
+            kind,
+            req_type: 7,
+            req_num: 0xDEAD_BEEF_0123,
+            pkt_idx: 0,
+            num_pkts: 1,
+            msg_len: 5,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = hdr(Kind::Request);
+        let pkt = h.encode(b"hello");
+        assert_eq!(pkt.len(), HEADER_BYTES + 5);
+        let (h2, frag) = Header::decode(&pkt).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(&frag[..], b"hello");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Header::decode(&Bytes::from_static(b"short")).is_none());
+        let mut bad = hdr(Kind::Ack).encode(b"").to_vec();
+        bad[0] = 0x00; // wrong magic
+        assert!(Header::decode(&Bytes::from(bad)).is_none());
+        let mut badkind = hdr(Kind::Ack).encode(b"").to_vec();
+        badkind[1] = 99;
+        assert!(Header::decode(&Bytes::from(badkind)).is_none());
+        // pkt_idx >= num_pkts
+        let mut h = hdr(Kind::Request);
+        h.pkt_idx = 3;
+        h.num_pkts = 2;
+        assert!(Header::decode(&h.encode(b"x")).is_none());
+    }
+
+    #[test]
+    fn fragment_empty_payload_one_packet() {
+        let pkts = fragment(Kind::Request, 1, 9, &Bytes::new(), 100);
+        assert_eq!(pkts.len(), 1);
+        let (h, frag) = Header::decode(&pkts[0]).unwrap();
+        assert_eq!(h.num_pkts, 1);
+        assert_eq!(h.msg_len, 0);
+        assert!(frag.is_empty());
+    }
+
+    #[test]
+    fn fragment_and_reassemble_multi_packet() {
+        let payload: Bytes = (0..10_000u32)
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>()
+            .into();
+        let pkts = fragment(Kind::Response, 2, 11, &payload, 4096);
+        assert_eq!(pkts.len(), 10); // 40_000 / 4096 = 9.7 -> 10
+                                    // Reassemble out of order with a duplicate.
+        let mut parsed: Vec<(Header, Bytes)> =
+            pkts.iter().map(|p| Header::decode(p).unwrap()).collect();
+        parsed.rotate_left(3);
+        let (h0, f0) = parsed[0].clone();
+        let mut r = Reassembly::new(&h0, f0);
+        let dup = parsed[0].clone();
+        r.offer(&dup.0, dup.1); // duplicate, ignored
+        let mut complete = false;
+        for (h, f) in parsed.into_iter().skip(1) {
+            complete = r.offer(&h, f);
+        }
+        assert!(complete);
+        assert_eq!(r.assemble(), payload);
+    }
+
+    #[test]
+    fn fragment_sizes_cover_payload_exactly() {
+        let payload = Bytes::from(vec![7u8; 8192]);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        assert_eq!(pkts.len(), 2);
+        for p in &pkts {
+            let (_, frag) = Header::decode(p).unwrap();
+            assert_eq!(frag.len(), 4096);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn assemble_incomplete_panics() {
+        let payload = Bytes::from(vec![1u8; 100]);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 10);
+        let (h, f) = Header::decode(&pkts[0]).unwrap();
+        let r = Reassembly::new(&h, f);
+        let _ = r.assemble();
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the RPC wire layer: fragmentation/reassembly is the
+//! identity for every payload, under any delivery order, with duplicates.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rpclib::wire::{fragment, Header, Kind, Reassembly};
+
+proptest! {
+    #[test]
+    fn fragment_reassemble_identity(
+        payload in proptest::collection::vec(any::<u8>(), 0..60_000),
+        mtu in 1usize..8192,
+        req_num in any::<u64>(),
+        req_type in any::<u8>(),
+        order_seed in any::<u64>(),
+        dup_mask in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let payload = Bytes::from(payload);
+        let pkts = fragment(Kind::Request, req_type, req_num, &payload, mtu);
+        prop_assert_eq!(pkts.len(), payload.len().div_ceil(mtu).max(1));
+
+        // Parse and shuffle deterministically.
+        let mut parsed: Vec<(Header, Bytes)> =
+            pkts.iter().map(|p| Header::decode(p).expect("own packets decode")).collect();
+        let mut rng = order_seed;
+        for i in (1..parsed.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            parsed.swap(i, (rng >> 33) as usize % (i + 1));
+        }
+        // Inject duplicates.
+        let dups: Vec<(Header, Bytes)> = parsed
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dup_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, p)| p.clone())
+            .collect();
+
+        let (h0, f0) = parsed[0].clone();
+        let mut r = Reassembly::new(&h0, f0);
+        for (h, f) in parsed.into_iter().skip(1).chain(dups) {
+            r.offer(&h, f);
+        }
+        prop_assert!(r.is_complete());
+        prop_assert_eq!(r.assemble(), payload);
+    }
+
+    /// Header decode is total: arbitrary bytes never panic, and valid
+    /// headers survive an encode/decode round trip.
+    #[test]
+    fn header_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Header::decode(&Bytes::from(bytes));
+    }
+
+    #[test]
+    fn header_roundtrip(
+        req_num in any::<u64>(),
+        req_type in any::<u8>(),
+        num_pkts in 1u16..u16::MAX,
+        msg_len in any::<u32>(),
+        frag in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let pkt_idx = num_pkts - 1;
+        let h = Header {
+            kind: Kind::Response,
+            req_type,
+            req_num,
+            pkt_idx,
+            num_pkts,
+            msg_len,
+        };
+        let enc = h.encode(&frag);
+        let (h2, f2) = Header::decode(&enc).expect("valid header decodes");
+        prop_assert_eq!(h, h2);
+        prop_assert_eq!(&f2[..], &frag[..]);
+    }
+}

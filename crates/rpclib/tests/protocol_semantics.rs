@@ -1,0 +1,228 @@
+//! Protocol-semantics tests: at-most-once execution under retransmission,
+//! response-cache behavior, shutdown semantics, and pathological loss.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rpclib::{RpcBuilder, RpcConfig, RpcError};
+use simcore::Sim;
+use simnet::{FabricConfig, Network, NicConfig, NodeId};
+
+fn rig() -> (Sim, Network, NodeId, NodeId) {
+    let sim = Sim::new();
+    let net = Network::new(FabricConfig::default(), 77);
+    let a = net.add_node("a", NicConfig::default());
+    let b = net.add_node("b", NicConfig::default());
+    (sim, net, a, b)
+}
+
+/// A handler with a side effect must run at most once per request even when
+/// the client retransmits aggressively (the response cache answers dups).
+#[test]
+fn handler_runs_at_most_once_under_retransmission() {
+    let (sim, net, a, b) = rig();
+    net.set_loss_probability(0.15);
+    let net2 = net.clone();
+    let (executions, completed) = sim.block_on(async move {
+        let counter = Rc::new(Cell::new(0u32));
+        let server = RpcBuilder::new(&net2, b, 10).build();
+        let c2 = counter.clone();
+        server.register(1, move |ctx| {
+            let c = c2.clone();
+            async move {
+                c.set(c.get() + 1);
+                // Slow handler widens the window for duplicate arrivals.
+                simcore::sleep(Duration::from_micros(50)).await;
+                ctx.payload
+            }
+        });
+        let client = RpcBuilder::new(&net2, a, 10)
+            .config(RpcConfig {
+                rto: Duration::from_micros(30), // aggressive on purpose
+                rto_per_packet: Duration::from_micros(5),
+                max_retries: 50,
+                ..Default::default()
+            })
+            .build();
+        let mut completed = 0u32;
+        for i in 0..40u32 {
+            let r = client
+                .call(server.addr(), 1, Bytes::from(i.to_le_bytes().to_vec()))
+                .await;
+            if let Ok(resp) = r {
+                assert_eq!(u32::from_le_bytes(resp[..4].try_into().unwrap()), i);
+                completed += 1;
+            }
+        }
+        (counter.get(), completed)
+    });
+    assert!(completed >= 35, "most calls complete: {completed}");
+    assert_eq!(
+        executions, completed,
+        "every completed call executed exactly once"
+    );
+}
+
+/// Responses larger than one packet survive loss of arbitrary fragments.
+#[test]
+fn multi_packet_response_under_loss() {
+    let (sim, net, a, b) = rig();
+    net.set_loss_probability(0.08);
+    let net2 = net.clone();
+    sim.block_on(async move {
+        let server = RpcBuilder::new(&net2, b, 10).build();
+        server.register(1, |_| async {
+            Bytes::from((0..50_000u32).map(|i| (i % 247) as u8).collect::<Vec<_>>())
+        });
+        let client = RpcBuilder::new(&net2, a, 10)
+            .config(RpcConfig {
+                rto: Duration::from_micros(200),
+                rto_per_packet: Duration::from_micros(20),
+                max_retries: 60,
+                ..Default::default()
+            })
+            .build();
+        for _ in 0..15 {
+            let resp = client.call(server.addr(), 1, Bytes::new()).await.unwrap();
+            assert_eq!(resp.len(), 50_000);
+            assert!(resp.iter().enumerate().all(|(i, &v)| v == (i % 247) as u8));
+        }
+    });
+}
+
+/// After shutdown, a server silently ignores requests instead of panicking,
+/// and the caller times out cleanly.
+#[test]
+fn shutdown_server_times_out_cleanly() {
+    let (sim, net, a, b) = rig();
+    sim.block_on(async move {
+        let server = RpcBuilder::new(&net, b, 10).build();
+        server.register(1, |ctx| async move { ctx.payload });
+        let client = RpcBuilder::new(&net, a, 10)
+            .config(RpcConfig {
+                rto: Duration::from_micros(20),
+                max_retries: 2,
+                ..Default::default()
+            })
+            .build();
+        // Works before shutdown.
+        assert!(client
+            .call(server.addr(), 1, Bytes::from_static(b"x"))
+            .await
+            .is_ok());
+        server.shutdown();
+        let r = client
+            .call(server.addr(), 1, Bytes::from_static(b"y"))
+            .await;
+        assert_eq!(r, Err(RpcError::Timeout));
+    });
+}
+
+/// Interleaved calls from many clients to one server keep request/response
+/// pairing intact (no cross-talk between req_nums of different peers).
+#[test]
+fn many_clients_no_response_crosstalk() {
+    let sim = Sim::new();
+    let net = Network::new(FabricConfig::default(), 5);
+    let server_node = net.add_node("srv", NicConfig::default());
+    let client_nodes: Vec<NodeId> = (0..6)
+        .map(|i| net.add_node(format!("c{i}"), NicConfig::default()))
+        .collect();
+    sim.block_on(async move {
+        let server = RpcBuilder::new(&net, server_node, 10).build();
+        server.register(1, |ctx| async move {
+            // Echo with a delay inversely related to payload so responses
+            // complete out of request order.
+            let d = 50u64.saturating_sub(ctx.payload[0] as u64);
+            simcore::sleep(Duration::from_micros(d)).await;
+            ctx.payload
+        });
+        let mut handles = Vec::new();
+        for (ci, &node) in client_nodes.iter().enumerate() {
+            let net = net.clone();
+            let dst = server.addr();
+            handles.push(simcore::spawn(async move {
+                let client = RpcBuilder::new(&net, node, 10).build();
+                for i in 0..20u8 {
+                    let tag = (ci as u8) * 40 + i;
+                    let resp = client
+                        .call(dst, 1, Bytes::from(vec![tag, 0xAB]))
+                        .await
+                        .unwrap();
+                    assert_eq!(&resp[..], &[tag, 0xAB], "cross-talk detected");
+                }
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+    });
+}
+
+/// Per-peer flow control bounds concurrent handler executions and keeps
+/// queueing delay bounded under heavy fan-in.
+#[test]
+fn session_credits_bound_inflight() {
+    let (sim, net, a, b) = rig();
+    let (peak, all_done) = sim.block_on(async move {
+        let active = Rc::new(Cell::new((0u32, 0u32))); // (cur, peak)
+        let server = RpcBuilder::new(&net, b, 10).build();
+        let a2 = active.clone();
+        server.register(1, move |ctx| {
+            let active = a2.clone();
+            async move {
+                let (cur, peak) = active.get();
+                active.set((cur + 1, peak.max(cur + 1)));
+                simcore::sleep(Duration::from_micros(20)).await;
+                let (cur, peak) = active.get();
+                active.set((cur - 1, peak));
+                ctx.payload
+            }
+        });
+        let client = RpcBuilder::new(&net, a, 10)
+            .config(RpcConfig {
+                max_inflight_per_peer: Some(4),
+                ..Default::default()
+            })
+            .build();
+        let mut handles = Vec::new();
+        for _ in 0..40 {
+            let client = client.clone();
+            let dst = server.addr();
+            handles.push(simcore::spawn(async move {
+                client.call(dst, 1, Bytes::from_static(b"x")).await.is_ok()
+            }));
+        }
+        let mut ok = true;
+        for h in handles {
+            ok &= h.await;
+        }
+        (active.get().1, ok)
+    });
+    assert!(all_done);
+    assert!(peak <= 4, "credits exceeded: peak {peak}");
+}
+
+/// Stats counters reflect what actually happened.
+#[test]
+fn stats_counters_consistent() {
+    let (sim, net, a, b) = rig();
+    sim.block_on(async move {
+        let server = RpcBuilder::new(&net, b, 10).build();
+        server.register(1, |ctx| async move { ctx.payload });
+        let client = RpcBuilder::new(&net, a, 10).build();
+        for _ in 0..25 {
+            client
+                .call(server.addr(), 1, Bytes::from_static(b"q"))
+                .await
+                .unwrap();
+        }
+        assert_eq!(client.stats().calls_completed.get(), 25);
+        assert_eq!(client.stats().timeouts.get(), 0);
+        assert_eq!(server.stats().requests_handled.get(), 25);
+        // Lossless fabric: no retransmissions.
+        assert_eq!(client.stats().retransmits.get(), 0);
+    });
+}

@@ -1,0 +1,319 @@
+//! Measurement primitives: counters and a log-bucketed latency histogram.
+//!
+//! The [`Histogram`] is an HdrHistogram-style log-linear histogram: values
+//! are bucketed into 64 linear sub-buckets per power of two, giving a
+//! worst-case quantile error under ~1.6% across the full `u64` range with a
+//! small fixed memory footprint. This is how every latency figure in the
+//! paper reproduction (average, p99, p99.5, p99.9) is computed.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A shared monotonically-increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    v: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.set(self.v.get().wrapping_add(n));
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1)
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.get()
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.v.set(0);
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per power of two
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Log-linear histogram over `u64` values (typically latencies in ns).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Rc<RefCell<HistogramInner>>,
+}
+
+struct HistogramInner {
+    // buckets[b][s]: values with floor(log2(v)) related to b, linear slot s.
+    buckets: Vec<[u64; SUB_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Rc::new(RefCell::new(HistogramInner {
+                buckets: vec![[0; SUB_BUCKETS]; 64],
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            })),
+        }
+    }
+
+    /// Index of the (bucket, sub-bucket) pair for `value`.
+    ///
+    /// Values below `SUB_BUCKETS` land in bucket 0 exactly; otherwise the top
+    /// `SUB_BUCKET_BITS + 1` significant bits select the slot, so each bucket
+    /// spans one power of two with `SUB_BUCKETS` linear sub-buckets.
+    fn index(value: u64) -> (usize, usize) {
+        if value < SUB_BUCKETS as u64 {
+            return (0, value as usize);
+        }
+        let msb = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+        let bucket = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let shifted = (value >> (msb + 1 - (SUB_BUCKET_BITS + 1))) as usize;
+        (bucket, shifted - SUB_BUCKETS)
+    }
+
+    /// Upper edge of the sub-bucket (so quantiles are conservative upper
+    /// bounds on the true value).
+    fn value_at(bucket: usize, sub: usize) -> u64 {
+        if bucket == 0 {
+            return sub as u64;
+        }
+        (((sub + SUB_BUCKETS + 1) as u64) << (bucket - 1)) - 1
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let (b, s) = Self::index(value);
+        let mut h = self.inner.borrow_mut();
+        h.buckets[b][s] += 1;
+        h.count += 1;
+        h.sum += value as u128;
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.borrow().count
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let h = self.inner.borrow();
+        if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        }
+    }
+
+    /// Minimum recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        let h = self.inner.borrow();
+        if h.count == 0 {
+            0
+        } else {
+            h.min
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.inner.borrow().max
+    }
+
+    /// Quantile `q` in [0, 1]; returns an upper bound on the true quantile
+    /// with relative error bounded by the sub-bucket resolution (~1.6%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = self.inner.borrow();
+        if h.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * h.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in h.buckets.iter().enumerate() {
+            for (s, &c) in bucket.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return Self::value_at(b, s).min(h.max);
+                }
+            }
+        }
+        h.max
+    }
+
+    /// Shorthand for common percentiles.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// 99.5th percentile.
+    pub fn p995(&self) -> u64 {
+        self.quantile(0.995)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Clear all recorded values.
+    pub fn reset(&self) {
+        let mut h = self.inner.borrow_mut();
+        for b in h.buckets.iter_mut() {
+            b.fill(0);
+        }
+        h.count = 0;
+        h.sum = 0;
+        h.min = u64::MAX;
+        h.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        let c2 = c.clone();
+        c2.add(4);
+        assert_eq!(c.get(), 10, "clones share state");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // Small values (< 64) are recorded exactly.
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn histogram_roundtrip_indexing() {
+        // value_at(index(v)) must be within the sub-bucket resolution of v.
+        for &v in &[
+            1u64,
+            63,
+            64,
+            65,
+            100,
+            127,
+            128,
+            1000,
+            4096,
+            65535,
+            1_000_000,
+            123_456_789,
+            u64::from(u32::MAX),
+            1 << 40,
+        ] {
+            let (b, s) = Histogram::index(v);
+            assert!(s < SUB_BUCKETS, "sub index in range for {v}");
+            let rep = Histogram::value_at(b, s);
+            assert!(rep >= v, "representative {rep} >= value {v}");
+            // Relative error bounded by one sub-bucket width.
+            assert!(
+                (rep - v) as f64 <= v as f64 / 32.0 + 1.0,
+                "rep {rep} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100ns .. 1ms
+        }
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50 = {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99 = {p99}");
+        assert!(h.p999() >= h.p99());
+        assert!(h.p995() >= h.p99());
+        assert!((h.mean() - 500_050.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let h = Histogram::new();
+        h.record(12345);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let h = Histogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 10_000_000);
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {vals:?}");
+        }
+        assert!(vals[6] <= h.max());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for simcore's measurement and synchronization primitives.
+
+use proptest::prelude::*;
+use simcore::{Histogram, Sim, SimRng};
+use std::rc::Rc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram quantiles are conservative (>= true quantile) and within
+    /// the documented ~1.6% + 1 relative error bound.
+    #[test]
+    fn histogram_quantile_error_bound(
+        mut values in proptest::collection::vec(0u64..10_000_000_000, 10..500),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in qs {
+            let est = h.quantile(q);
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            prop_assert!(est >= truth, "quantile({q}) = {est} < true {truth}");
+            let bound = truth as f64 / 32.0 + 1.0;
+            prop_assert!(
+                (est - truth) as f64 <= bound,
+                "quantile({q}) = {est}, true {truth}, off by more than {bound}"
+            );
+        }
+        // Mean is exact.
+        let mean_true = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean_true).abs() < 1e-6 * mean_true.max(1.0));
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    /// Sleeps complete in exactly deadline order regardless of spawn order.
+    #[test]
+    fn sleeps_complete_in_deadline_order(delays in proptest::collection::vec(0u64..1_000_000, 1..40)) {
+        let sim = Sim::new();
+        let order: Rc<std::cell::RefCell<Vec<(u64, usize)>>> = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let order = order.clone();
+            sim.spawn(async move {
+                simcore::sleep(Duration::from_nanos(d)).await;
+                order.borrow_mut().push((simcore::now().nanos(), i));
+            });
+        }
+        sim.run();
+        let fired = order.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        // Completion times are the requested delays, in sorted order; ties
+        // broken by spawn index.
+        let mut expect: Vec<(u64, usize)> = delays.iter().copied().zip(0..).collect();
+        expect.sort();
+        prop_assert_eq!(&fired[..], &expect[..]);
+    }
+
+    /// The RNG's weighted pick covers exactly the declared support.
+    #[test]
+    fn pick_weighted_in_range(weights in proptest::collection::vec(0.01f64..10.0, 1..6), seed in any::<u64>()) {
+        let rng = SimRng::new(seed);
+        for _ in 0..100 {
+            let i = rng.pick_weighted(&weights);
+            prop_assert!(i < weights.len());
+        }
+    }
+
+    /// Semaphore never over-admits under random acquire/release patterns.
+    #[test]
+    fn semaphore_never_over_admits(
+        permits in 1u64..5,
+        tasks in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let sim = Sim::new();
+        let sem = simcore::sync::Semaphore::new(permits);
+        let active = Rc::new(std::cell::Cell::new(0u64));
+        let violated = Rc::new(std::cell::Cell::new(false));
+        let rng = SimRng::new(seed);
+        for _ in 0..tasks {
+            let sem = sem.clone();
+            let active = active.clone();
+            let violated = violated.clone();
+            let hold = rng.gen_range(500) + 1;
+            let start = rng.gen_range(1000);
+            sim.spawn(async move {
+                simcore::sleep(Duration::from_nanos(start)).await;
+                let _p = sem.acquire_one().await;
+                active.set(active.get() + 1);
+                if active.get() > permits {
+                    violated.set(true);
+                }
+                simcore::sleep(Duration::from_nanos(hold)).await;
+                active.set(active.get() - 1);
+            });
+        }
+        sim.run();
+        prop_assert!(!violated.get(), "semaphore admitted more than {permits}");
+        prop_assert_eq!(sem.available(), permits, "all permits returned");
+    }
+}

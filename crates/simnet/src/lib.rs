@@ -1,0 +1,546 @@
+//! # simnet — simulated datacenter network fabric
+//!
+//! Models the paper's testbed network: servers with 100 GbE NICs attached to
+//! a top-of-rack switch. The model is intentionally simple and faithful to
+//! what drives the paper's results:
+//!
+//! * each NIC transmit (and receive) path is a FIFO rate server — sending a
+//!   datagram occupies the sender's NIC for `wire_size / line_rate` plus a
+//!   fixed per-packet overhead (DMA + driver/DPDK processing);
+//! * the fabric adds a fixed switch + propagation latency per hop;
+//! * optional i.i.d. packet loss exercises the RPC reliability layer.
+//!
+//! Datagrams carry real [`bytes::Bytes`] payloads: data integrity is
+//! end-to-end testable, while *time* is charged by the cost model.
+//!
+//! This substitutes for the paper's DPDK/UDP data plane (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use simcore::sync::mpsc;
+use simcore::{Counter, RateResource, SimRng};
+
+/// Ethernet + IP + UDP framing overhead added to every datagram on the wire.
+pub const WIRE_HEADER_BYTES: u64 = 42;
+
+/// Identifies a server in the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// A (node, port) pair — the address of one bound endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Addr {
+    /// Destination node.
+    pub node: NodeId,
+    /// Destination port on that node.
+    pub port: u16,
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.node.0, self.port)
+    }
+}
+
+/// One delivered datagram.
+#[derive(Clone, Debug)]
+pub struct Datagram {
+    /// Sender address (for replies).
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Payload bytes (headers are accounted separately).
+    pub payload: Bytes,
+}
+
+/// Per-NIC configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NicConfig {
+    /// Line rate in bits per second (paper testbed: 100 Gb/s ConnectX-5).
+    pub bandwidth_bits_per_sec: f64,
+    /// Fixed per-packet cost (DMA setup, driver processing).
+    pub per_packet_overhead: Duration,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            bandwidth_bits_per_sec: 100e9,
+            per_packet_overhead: Duration::from_nanos(100),
+        }
+    }
+}
+
+impl NicConfig {
+    /// Line rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bandwidth_bits_per_sec / 8.0
+    }
+}
+
+/// Fabric-wide configuration (one ToR switch).
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// One-way switch + propagation latency per hop.
+    pub switch_latency: Duration,
+    /// Independent per-packet drop probability (0 = lossless).
+    pub loss_probability: f64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            switch_latency: Duration::from_nanos(500),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+struct NodeState {
+    name: String,
+    tx: RateResource,
+    rx: RateResource,
+    ports: HashMap<u16, mpsc::Sender<Datagram>>,
+    next_ephemeral: u16,
+}
+
+struct NetInner {
+    nodes: RefCell<Vec<NodeState>>,
+    fabric: RefCell<FabricConfig>,
+    rng: SimRng,
+    delivered: Counter,
+    dropped_loss: Counter,
+    dropped_unbound: Counter,
+}
+
+/// Handle onto the simulated fabric. Cloning shares the same network.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<NetInner>,
+}
+
+impl Network {
+    /// Create a fabric with the given configuration and RNG seed (the seed
+    /// only matters when `loss_probability > 0`).
+    pub fn new(fabric: FabricConfig, seed: u64) -> Network {
+        Network {
+            inner: Rc::new(NetInner {
+                nodes: RefCell::new(Vec::new()),
+                fabric: RefCell::new(fabric),
+                rng: SimRng::new(seed),
+                delivered: Counter::new(),
+                dropped_loss: Counter::new(),
+                dropped_unbound: Counter::new(),
+            }),
+        }
+    }
+
+    /// Add a server with the given NIC. Returns its [`NodeId`].
+    pub fn add_node(&self, name: impl Into<String>, nic: NicConfig) -> NodeId {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        let id = NodeId(nodes.len() as u32);
+        let name = name.into();
+        nodes.push(NodeState {
+            tx: RateResource::new(
+                format!("{name}.nic.tx"),
+                nic.bytes_per_sec(),
+                nic.per_packet_overhead,
+            ),
+            rx: RateResource::new(
+                format!("{name}.nic.rx"),
+                nic.bytes_per_sec(),
+                nic.per_packet_overhead,
+            ),
+            name,
+            ports: HashMap::new(),
+            next_ephemeral: 49152,
+        });
+        id
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> String {
+        self.inner.nodes.borrow()[node.0 as usize].name.clone()
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.borrow().len()
+    }
+
+    /// Bind a specific port on a node.
+    ///
+    /// # Panics
+    /// Panics if the port is already bound.
+    pub fn bind(&self, node: NodeId, port: u16) -> Endpoint {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut nodes = self.inner.nodes.borrow_mut();
+            let st = &mut nodes[node.0 as usize];
+            let prev = st.ports.insert(port, tx);
+            assert!(prev.is_none(), "port {port} already bound on {}", st.name);
+        }
+        Endpoint {
+            net: self.clone(),
+            addr: Addr { node, port },
+            rx,
+        }
+    }
+
+    /// Bind an ephemeral port on a node.
+    pub fn bind_ephemeral(&self, node: NodeId) -> Endpoint {
+        let port = {
+            let mut nodes = self.inner.nodes.borrow_mut();
+            let st = &mut nodes[node.0 as usize];
+            loop {
+                let p = st.next_ephemeral;
+                st.next_ephemeral = st.next_ephemeral.wrapping_add(1).max(49152);
+                if !st.ports.contains_key(&p) {
+                    break p;
+                }
+            }
+        };
+        self.bind(node, port)
+    }
+
+    /// Set the per-packet loss probability (for reliability tests).
+    pub fn set_loss_probability(&self, p: f64) {
+        self.inner.fabric.borrow_mut().loss_probability = p;
+    }
+
+    /// Datagrams delivered end-to-end.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.get()
+    }
+
+    /// Datagrams dropped by simulated loss.
+    pub fn dropped_loss(&self) -> u64 {
+        self.inner.dropped_loss.get()
+    }
+
+    /// Datagrams dropped because no endpoint was bound at the destination.
+    pub fn dropped_unbound(&self) -> u64 {
+        self.inner.dropped_unbound.get()
+    }
+
+    /// Bytes transmitted by a node's NIC (payload + wire headers).
+    pub fn node_tx_bytes(&self, node: NodeId) -> u64 {
+        self.inner.nodes.borrow()[node.0 as usize].tx.bytes()
+    }
+
+    /// Bytes received by a node's NIC (payload + wire headers).
+    pub fn node_rx_bytes(&self, node: NodeId) -> u64 {
+        self.inner.nodes.borrow()[node.0 as usize].rx.bytes()
+    }
+
+    /// NIC transmit busy time for a node (for utilization reports).
+    pub fn node_tx_busy(&self, node: NodeId) -> Duration {
+        self.inner.nodes.borrow()[node.0 as usize].tx.busy_time()
+    }
+
+    /// Reset all NIC byte/op counters (between warmup and measurement).
+    pub fn reset_stats(&self) {
+        for st in self.inner.nodes.borrow().iter() {
+            st.tx.reset_stats();
+            st.rx.reset_stats();
+        }
+        self.inner.delivered.reset();
+        self.inner.dropped_loss.reset();
+        self.inner.dropped_unbound.reset();
+    }
+
+    /// Transmit a datagram from `src` to `dst` without holding the bound
+    /// [`Endpoint`] (protocol stacks whose dispatch loop owns the endpoint
+    /// use this for their transmit path).
+    pub fn send_datagram(&self, src: Addr, dst: Addr, payload: Bytes) {
+        self.send(Datagram { src, dst, payload });
+    }
+
+    /// Internal: transmit a datagram. Reserves the sender's NIC immediately
+    /// (preserving per-sender FIFO order) and spawns the delivery pipeline.
+    fn send(&self, dgram: Datagram) {
+        let wire_size = dgram.payload.len() as u64 + WIRE_HEADER_BYTES;
+        let tx_done = {
+            let nodes = self.inner.nodes.borrow();
+            nodes[dgram.src.node.0 as usize].tx.reserve(wire_size)
+        };
+        let net = self.clone();
+        simcore::spawn(async move {
+            simcore::sleep_until(tx_done).await;
+            let (latency, loss_p) = {
+                let f = net.inner.fabric.borrow();
+                (f.switch_latency, f.loss_probability)
+            };
+            simcore::sleep(latency).await;
+            if loss_p > 0.0 && net.inner.rng.gen_bool(loss_p) {
+                net.inner.dropped_loss.incr();
+                return;
+            }
+            // Receive-side NIC occupancy.
+            let rx_done = {
+                let nodes = net.inner.nodes.borrow();
+                nodes[dgram.dst.node.0 as usize].rx.reserve(wire_size)
+            };
+            simcore::sleep_until(rx_done).await;
+            let sender = {
+                let nodes = net.inner.nodes.borrow();
+                nodes[dgram.dst.node.0 as usize]
+                    .ports
+                    .get(&dgram.dst.port)
+                    .cloned()
+            };
+            match sender {
+                Some(tx) if tx.send(dgram).is_ok() => net.inner.delivered.incr(),
+                _ => net.inner.dropped_unbound.incr(),
+            }
+        });
+    }
+
+    fn unbind(&self, addr: Addr) {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        if let Some(st) = nodes.get_mut(addr.node.0 as usize) {
+            st.ports.remove(&addr.port);
+        }
+    }
+}
+
+/// A bound datagram socket on a node.
+pub struct Endpoint {
+    net: Network,
+    addr: Addr,
+    rx: mpsc::Receiver<Datagram>,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Send `payload` to `dst` (fire-and-forget, unreliable datagram).
+    pub fn send_to(&self, dst: Addr, payload: Bytes) {
+        self.net.send(Datagram {
+            src: self.addr,
+            dst,
+            payload,
+        });
+    }
+
+    /// Receive the next datagram (never resolves while the endpoint has no
+    /// traffic; the endpoint stays bound for the lifetime of `self`).
+    pub async fn recv(&mut self) -> Datagram {
+        self.rx
+            .recv()
+            .await
+            .expect("endpoint channel closed while bound")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<Datagram> {
+        self.rx.try_recv()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.unbind(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    fn gbe100() -> NicConfig {
+        NicConfig::default()
+    }
+
+    #[test]
+    fn one_way_delivery_latency() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 10);
+        let mut eb = net.bind(b, 20);
+        let t = sim.block_on(async move {
+            ea.send_to(eb.addr(), Bytes::from_static(b"hello"));
+            let d = eb.recv().await;
+            assert_eq!(&d.payload[..], b"hello");
+            assert_eq!(d.src, ea.addr());
+            simcore::now().nanos()
+        });
+        // wire = 5 + 42 = 47B at 12.5GB/s = 3.76 -> 4ns; +100ns overhead each
+        // side; +500ns switch: 104 + 500 + 104 = 708ns.
+        assert_eq!(t, 708);
+        assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn serialization_dominates_for_large_payloads() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        let t = sim.block_on(async move {
+            ea.send_to(eb.addr(), Bytes::from(vec![0u8; 125_000]));
+            eb.recv().await;
+            simcore::now().nanos()
+        });
+        // 125042B at 12.5GB/s ~ 10_004ns per side + overheads + switch.
+        assert!((20_500..21_500).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn per_sender_fifo_order() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        let got = sim.block_on(async move {
+            for i in 0..10u8 {
+                ea.send_to(eb.addr(), Bytes::from(vec![i]));
+            }
+            let mut got = Vec::new();
+            for _ in 0..10 {
+                got.push(eb.recv().await.payload[0]);
+            }
+            got
+        });
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn nic_bandwidth_shared_between_flows() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let c = net.add_node("c", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        let mut ec = net.bind(c, 1);
+        let t = sim.block_on(async move {
+            // Two 125KB payloads from the same sender to different receivers
+            // must serialize on the sender NIC (~10us each).
+            ea.send_to(eb.addr(), Bytes::from(vec![0u8; 125_000]));
+            ea.send_to(ec.addr(), Bytes::from(vec![0u8; 125_000]));
+            eb.recv().await;
+            ec.recv().await;
+            simcore::now().nanos()
+        });
+        assert!(t > 30_000, "second flow delayed by first: t = {t}");
+    }
+
+    #[test]
+    fn unbound_port_drops() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        sim.block_on(async move {
+            ea.send_to(Addr { node: b, port: 99 }, Bytes::from_static(b"x"));
+            simcore::sleep(Duration::from_micros(10)).await;
+        });
+        assert_eq!(net.delivered(), 0);
+        assert_eq!(net.dropped_unbound(), 1);
+    }
+
+    #[test]
+    fn loss_drops_expected_fraction() {
+        let sim = Sim::new();
+        let net = Network::new(
+            FabricConfig {
+                loss_probability: 0.3,
+                ..Default::default()
+            },
+            42,
+        );
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let _eb = net.bind(b, 1);
+        sim.block_on(async move {
+            for _ in 0..1000 {
+                ea.send_to(Addr { node: b, port: 1 }, Bytes::from_static(b"p"));
+            }
+            simcore::sleep(Duration::from_millis(10)).await;
+        });
+        let lost = net.dropped_loss();
+        assert!((200..400).contains(&lost), "lost = {lost}");
+        assert_eq!(net.delivered() + lost, 1000);
+    }
+
+    #[test]
+    fn tx_rx_byte_accounting() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        sim.block_on(async move {
+            ea.send_to(eb.addr(), Bytes::from(vec![0u8; 1000]));
+            eb.recv().await;
+        });
+        assert_eq!(net.node_tx_bytes(a), 1000 + WIRE_HEADER_BYTES);
+        assert_eq!(net.node_rx_bytes(b), 1000 + WIRE_HEADER_BYTES);
+        net.reset_stats();
+        assert_eq!(net.node_tx_bytes(a), 0);
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let e1 = net.bind_ephemeral(a);
+        let e2 = net.bind_ephemeral(a);
+        assert_ne!(e1.addr().port, e2.addr().port);
+    }
+
+    #[test]
+    fn endpoint_drop_unbinds_port() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        {
+            let _e = net.bind(b, 7);
+        }
+        let ea = net.bind(a, 1);
+        sim.block_on(async move {
+            ea.send_to(Addr { node: b, port: 7 }, Bytes::from_static(b"x"));
+            simcore::sleep(Duration::from_micros(10)).await;
+        });
+        assert_eq!(net.dropped_unbound(), 1);
+        // Port can be re-bound after drop.
+        let _e2 = net.bind(b, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let net = Network::new(FabricConfig::default(), 1);
+        let a = net.add_node("a", gbe100());
+        let _e1 = net.bind(a, 5);
+        let _e2 = net.bind(a, 5);
+    }
+}

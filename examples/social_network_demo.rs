@@ -1,0 +1,52 @@
+//! The DeathStarBench-style social network (paper §VI-F) under the mixed
+//! 60/30/10 workload, comparing eRPC and DmRPC-net latency at one offered
+//! rate.
+//!
+//! ```text
+//! cargo run --release --example social_network_demo
+//! ```
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::social::build_social;
+use apps::workload::run_open_loop;
+use simcore::{Sim, SimRng};
+
+fn main() {
+    println!("social network, 8 KiB media, 50k req/s offered, 60/30/10 mix\n");
+    println!(
+        "{:>10}  {:>12}  {:>10}  {:>10}  {:>10}",
+        "system", "achieved", "avg", "p99", "p99.9"
+    );
+    for kind in [SystemKind::Erpc, SystemKind::DmNet] {
+        let sim = Sim::new();
+        let m = sim.block_on(async move {
+            let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 5);
+            let app = Rc::new(build_social(&cluster, 300, 8192, 9).await);
+            app.preload(150).await.expect("preload");
+            let a = app.clone();
+            run_open_loop(
+                50_000.0,
+                Duration::from_millis(1),
+                Duration::from_millis(10),
+                SimRng::new(42),
+                Rc::new(move |_n| {
+                    let app = a.clone();
+                    async move { app.mixed_request().await }
+                }),
+            )
+            .await
+        });
+        println!(
+            "{:>10}  {:>9} rps  {:>8.1}us  {:>8.1}us  {:>8.1}us",
+            kind.label(),
+            m.throughput_rps() as u64,
+            m.avg_latency_us(),
+            m.latency_us(0.99),
+            m.latency_us(0.999),
+        );
+    }
+    println!("\nEvery request crosses nginx/proxy/php-fpm data movers; DmRPC forwards refs.");
+}

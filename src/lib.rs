@@ -1,0 +1,1 @@
+//! DmRPC workspace umbrella crate (examples + integration tests live here).

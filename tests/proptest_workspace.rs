@@ -1,0 +1,90 @@
+//! Workspace-level property tests: random request patterns through full
+//! deployments keep application-observable behavior identical across the
+//! three systems, and `Value` semantics hold under arbitrary data.
+
+use apps::chain::build_chain;
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use bytes::Bytes;
+use dmrpc::Value;
+use proptest::prelude::*;
+use simcore::Sim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For a random chain length and random payloads (spanning the
+    /// inline/by-ref threshold), all three systems compute identical
+    /// checksums.
+    #[test]
+    fn systems_agree_on_random_workloads(
+        length in 1usize..6,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..20_000),
+            1..5
+        ),
+    ) {
+        let mut answers: Vec<Vec<u64>> = Vec::new();
+        for kind in SystemKind::ALL {
+            let payloads = payloads.clone();
+            let sim = Sim::new();
+            let sums = sim.block_on(async move {
+                let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 42);
+                let app = build_chain(&cluster, length).await;
+                let mut sums = Vec::new();
+                for p in &payloads {
+                    sums.push(app.request(&Bytes::from(p.clone())).await.expect("request"));
+                }
+                sums
+            });
+            answers.push(sums);
+        }
+        prop_assert_eq!(&answers[0], &answers[1], "eRPC vs DmRPC-net");
+        prop_assert_eq!(&answers[0], &answers[2], "eRPC vs DmRPC-CXL");
+        // And the checksums are actually right.
+        for (p, &s) in payloads.iter().zip(&answers[0]) {
+            let want: u64 = p.iter().map(|&b| b as u64).sum();
+            prop_assert_eq!(s, want);
+        }
+    }
+
+    /// make_value/fetch is the identity for arbitrary bytes on both DM
+    /// backends, and a shared value read by many parties stays immutable
+    /// while any of them overwrite their own view.
+    #[test]
+    fn value_roundtrip_and_immutability(
+        data in proptest::collection::vec(any::<u8>(), 0..50_000),
+        kind_sel in 0usize..2,
+        write_frac in 0.0f64..=1.0,
+    ) {
+        let kind = [SystemKind::DmNet, SystemKind::DmCxl][kind_sel];
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(kind, 1, ClusterConfig::default(), 9);
+            let a = cluster.add_server("a");
+            let b = cluster.add_server("b");
+            let writer = cluster.endpoint(&a, 100).await;
+            let reader = cluster.endpoint(&b, 100).await;
+            let data = Bytes::from(data);
+            let v = writer.make_value(data.clone()).await.expect("make_value");
+            // Reader sees the exact bytes.
+            assert_eq!(reader.fetch(&v).await.expect("fetch"), data);
+            // Reader overwrites part of its own view...
+            reader.overwrite_fraction(&v, write_frac).await.expect("overwrite");
+            // ...and the shared value still reads back pristine everywhere.
+            assert_eq!(writer.fetch(&v).await.expect("fetch"), data);
+            assert_eq!(reader.fetch(&v).await.expect("fetch"), data);
+            writer.release(&v).await.expect("release");
+        });
+    }
+
+    /// Encoded values survive a hostile wire: decoding arbitrary bytes
+    /// never panics, and any value that decodes re-encodes identically.
+    #[test]
+    fn value_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let b = Bytes::from(bytes);
+        if let Ok(v) = Value::decode(&b) {
+            let enc = v.encode();
+            prop_assert_eq!(Value::decode(&enc).unwrap(), v);
+        }
+    }
+}
