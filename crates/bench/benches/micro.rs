@@ -109,10 +109,11 @@ fn bench_wire(c: &mut Criterion) {
                 b.iter(|| {
                     let pkts = fragment(Kind::Request, 1, 7, black_box(&payload), 4096);
                     let mut it = pkts.iter();
-                    let (h0, f0) = Header::decode(it.next().unwrap()).unwrap();
+                    let p0 = it.next().unwrap();
+                    let (h0, f0) = Header::decode_split(&p0.head, &p0.body).unwrap();
                     let mut r = Reassembly::new(&h0, f0);
                     for p in it {
-                        let (h, f) = Header::decode(p).unwrap();
+                        let (h, f) = Header::decode_split(&p.head, &p.body).unwrap();
                         r.offer(&h, f);
                     }
                     black_box(r.assemble())

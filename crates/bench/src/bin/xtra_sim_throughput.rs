@@ -1,0 +1,4 @@
+//! Engine self-benchmark: executor polls/sec wall-clock. See bench::sim_throughput.
+fn main() {
+    bench::sim_throughput::run();
+}

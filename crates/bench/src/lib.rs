@@ -27,4 +27,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod report;
+pub mod sim_throughput;
 pub mod table1;

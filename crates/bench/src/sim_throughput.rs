@@ -1,0 +1,143 @@
+//! Executor self-benchmark: wall-clock throughput of the simulation engine.
+//!
+//! Unlike the `fig*` experiments, which report *virtual-time* results, this
+//! measures how fast the reproduction itself runs: task polls per second of
+//! real time across scenarios that stress each hot path of the scheduler —
+//! timers, ready-queue wakeups, task churn, and the full RPC stack.
+//! `results/xtra_sim_throughput.csv` records the numbers; they are
+//! machine-dependent and exist to track engine-performance regressions.
+
+use crate::report::{f2, Table};
+use bytes::Bytes;
+use simcore::sync::mpsc;
+use simcore::Sim;
+use std::time::{Duration, Instant};
+
+struct Outcome {
+    polls: u64,
+    wall: Duration,
+}
+
+fn measure(build: impl Fn(&Sim)) -> Outcome {
+    // One warmup run, then the timed run.
+    let warm = Sim::new();
+    build(&warm);
+    warm.run();
+    let sim = Sim::new();
+    let start = Instant::now();
+    build(&sim);
+    sim.run();
+    let wall = start.elapsed();
+    Outcome {
+        polls: sim.poll_count(),
+        wall,
+    }
+}
+
+/// Pure timer path: 200 tasks sleeping 500 times each, deadlines interleaved.
+fn timer_storm(sim: &Sim) {
+    for i in 0..200u64 {
+        sim.spawn(async move {
+            for j in 0..500u64 {
+                simcore::sleep(Duration::from_nanos(i * 13 + j * 97 + 1)).await;
+            }
+        });
+    }
+}
+
+/// Pure wakeup path: 64 channel ping-pong pairs, 1000 rounds each. No timers,
+/// so every event is a ready-queue push + task poll.
+fn pingpong(sim: &Sim) {
+    for _ in 0..64 {
+        let (atx, mut arx) = mpsc::channel::<u32>();
+        let (btx, mut brx) = mpsc::channel::<u32>();
+        sim.spawn(async move {
+            let _ = atx.send(0);
+            while let Some(v) = brx.recv().await {
+                if v >= 1000 {
+                    break;
+                }
+                let _ = atx.send(v + 1);
+            }
+        });
+        sim.spawn(async move {
+            while let Some(v) = arx.recv().await {
+                if btx.send(v + 1).is_err() || v >= 1000 {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Task churn: waves of short-lived tasks exercising spawn/complete/free.
+fn spawn_churn(sim: &Sim) {
+    sim.spawn(async {
+        for wave in 0..200u64 {
+            let handles: Vec<_> = (0..100u64)
+                .map(|i| {
+                    simcore::spawn(async move {
+                        simcore::yield_now().await;
+                        wave ^ i
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.await;
+            }
+        }
+    });
+}
+
+/// Full stack: RPC echo storm through the simulated fabric, 8 clients x 200
+/// calls with multi-packet payloads (fragmentation + reassembly + ACKs).
+fn rpc_storm(sim: &Sim) {
+    sim.spawn(async {
+        let net = simnet::Network::new(simnet::FabricConfig::default(), 42);
+        let sn = net.add_node("server", simnet::NicConfig::default());
+        let server = rpclib::RpcBuilder::new(&net, sn, 10).build();
+        server.register(1, |ctx| async move { ctx.payload });
+        let server_addr = server.addr();
+        let mut done = Vec::new();
+        for c in 0..8 {
+            let net = net.clone();
+            let cn = net.add_node(format!("c{c}"), simnet::NicConfig::default());
+            done.push(simcore::spawn(async move {
+                let client = rpclib::RpcBuilder::new(&net, cn, 10).build();
+                let payload = Bytes::from(vec![c as u8; 9000]);
+                for _ in 0..200 {
+                    client.call(server_addr, 1, payload.clone()).await.unwrap();
+                }
+            }));
+        }
+        for d in done {
+            d.await;
+        }
+    });
+}
+
+/// Run all scenarios and emit `results/xtra_sim_throughput.csv`.
+pub fn run() {
+    type Scenario = (&'static str, fn(&Sim));
+    let scenarios: [Scenario; 4] = [
+        ("timer_storm", timer_storm),
+        ("pingpong", pingpong),
+        ("spawn_churn", spawn_churn),
+        ("rpc_storm", rpc_storm),
+    ];
+    let mut t = Table::new(
+        "xtra_sim_throughput",
+        &["scenario", "polls", "wall_ms", "polls_per_sec"],
+    );
+    for (name, build) in scenarios {
+        let o = measure(build);
+        let per_sec = o.polls as f64 / o.wall.as_secs_f64().max(1e-12);
+        t.row(&[
+            &name,
+            &o.polls,
+            &f2(o.wall.as_secs_f64() * 1e3),
+            &format!("{per_sec:.0}"),
+        ]);
+    }
+    t.finish();
+}

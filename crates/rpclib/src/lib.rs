@@ -36,8 +36,14 @@ use bytes::Bytes;
 use memsim::NodeMemory;
 use simcore::sync::{oneshot, Semaphore};
 use simcore::{Counter, CpuPool, Histogram};
-use simnet::{Addr, Network, NodeId};
-use wire::{fragment, Header, Kind, Reassembly};
+use simnet::{Addr, Network, NodeId, Payload};
+use wire::{fragment, Header, Kind, Packet, Reassembly};
+
+/// Wrap a wire packet as a two-segment datagram payload (refcount bumps, no
+/// byte copies).
+fn packet_payload(p: &Packet) -> Payload {
+    Payload::two(p.head.clone(), p.body.clone())
+}
 
 /// Errors surfaced to RPC callers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,13 +136,13 @@ struct Pending {
 type CompletedLru = (HashSet<(Addr, u64)>, VecDeque<(Addr, u64)>);
 
 struct RespCache {
-    map: HashMap<(Addr, u64), Rc<Vec<Bytes>>>,
+    map: HashMap<(Addr, u64), Rc<Vec<Packet>>>,
     order: VecDeque<(Addr, u64)>,
     capacity: usize,
 }
 
 impl RespCache {
-    fn insert(&mut self, key: (Addr, u64), pkts: Rc<Vec<Bytes>>) {
+    fn insert(&mut self, key: (Addr, u64), pkts: Rc<Vec<Packet>>) {
         if self.map.len() >= self.capacity {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
@@ -147,7 +153,7 @@ impl RespCache {
         }
     }
 
-    fn get(&self, key: &(Addr, u64)) -> Option<Rc<Vec<Bytes>>> {
+    fn get(&self, key: &(Addr, u64)) -> Option<Rc<Vec<Packet>>> {
         self.map.get(key).cloned()
     }
 
@@ -365,7 +371,7 @@ impl Rpc {
             },
         );
         for p in pkts.iter() {
-            self.net.send_datagram(self.addr, dst, p.clone());
+            self.net.send_datagram(self.addr, dst, packet_payload(p));
         }
 
         // Client-driven retransmission watchdog.
@@ -391,7 +397,7 @@ impl Rpc {
                 retries += 1;
                 rpc.stats.retransmits.incr();
                 for p in watch_pkts.iter() {
-                    rpc.net.send_datagram(rpc.addr, dst, p.clone());
+                    rpc.net.send_datagram(rpc.addr, dst, packet_payload(p));
                 }
             }
         });
@@ -430,7 +436,8 @@ impl Rpc {
     }
 
     fn handle_packet(self: &Rc<Self>, dgram: simnet::Datagram) {
-        let Some((hdr, frag)) = Header::decode(&dgram.payload) else {
+        let Some((hdr, frag)) = Header::decode_split(&dgram.payload.head, &dgram.payload.body)
+        else {
             return;
         };
         match hdr.kind {
@@ -449,7 +456,7 @@ impl Rpc {
         // Duplicate of a request we already answered: resend cached packets.
         if let Some(pkts) = self.resp_cache.borrow().get(&key) {
             for p in pkts.iter() {
-                self.net.send_datagram(self.addr, src, p.clone());
+                self.net.send_datagram(self.addr, src, packet_payload(p));
             }
             return;
         }
@@ -525,7 +532,7 @@ impl Rpc {
             rpc.resp_cache.borrow_mut().insert(key, pkts.clone());
             rpc.executing.borrow_mut().remove(&key);
             for p in pkts.iter() {
-                rpc.net.send_datagram(rpc.addr, src, p.clone());
+                rpc.net.send_datagram(rpc.addr, src, packet_payload(p));
             }
         });
     }

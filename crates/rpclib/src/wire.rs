@@ -53,51 +53,128 @@ pub struct Header {
 }
 
 impl Header {
-    /// Encode the header and append the fragment payload.
-    pub fn encode(&self, fragment: &[u8]) -> Bytes {
-        let mut b = BytesMut::with_capacity(HEADER_BYTES + fragment.len());
+    /// Encode just the header into its own 20-byte buffer.
+    pub fn encode_header(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(HEADER_BYTES);
         b.extend_from_slice(&[MAGIC, self.kind as u8, self.req_type, 0]);
         b.extend_from_slice(&self.req_num.to_le_bytes());
         b.extend_from_slice(&self.pkt_idx.to_le_bytes());
         b.extend_from_slice(&self.num_pkts.to_le_bytes());
         b.extend_from_slice(&self.msg_len.to_le_bytes());
+        b.freeze()
+    }
+
+    /// Encode the header and append the fragment payload into one contiguous
+    /// buffer (copies the fragment; the transmit path uses [`Packet`] with a
+    /// shared fragment slice instead).
+    pub fn encode(&self, fragment: &[u8]) -> Bytes {
+        let mut b = BytesMut::with_capacity(HEADER_BYTES + fragment.len());
+        b.extend_from_slice(&self.encode_header());
         b.extend_from_slice(fragment);
         b.freeze()
     }
 
-    /// Decode a packet into `(header, fragment)`. Returns `None` for
-    /// malformed packets (wrong magic, short, unknown kind).
+    /// Decode a contiguous packet into `(header, fragment)`. Returns `None`
+    /// for malformed packets (wrong magic, short, unknown kind).
     pub fn decode(packet: &Bytes) -> Option<(Header, Bytes)> {
-        if packet.len() < HEADER_BYTES || packet[0] != MAGIC {
+        let hdr = Self::parse(packet)?;
+        Some((hdr, packet.slice(HEADER_BYTES..)))
+    }
+
+    /// Decode a packet delivered as separate header and fragment buffers (the
+    /// gather-list shape the transmit path produces). Falls back to treating
+    /// `head` as a contiguous packet when `body` is empty, so legacy
+    /// single-buffer packets and raw hostile datagrams decode identically.
+    pub fn decode_split(head: &Bytes, body: &Bytes) -> Option<(Header, Bytes)> {
+        if head.len() == HEADER_BYTES {
+            return Some((Self::parse(head)?, body.clone()));
+        }
+        if body.is_empty() {
+            return Self::decode(head);
+        }
+        if head.is_empty() {
+            return Self::decode(body);
+        }
+        // Irregular split (never produced by this stack): reassemble a
+        // contiguous view and decode that.
+        let mut whole = BytesMut::with_capacity(head.len() + body.len());
+        whole.extend_from_slice(head);
+        whole.extend_from_slice(body);
+        Self::decode(&whole.freeze())
+    }
+
+    /// Parse the fixed header at the front of `buf`.
+    fn parse(buf: &[u8]) -> Option<Header> {
+        if buf.len() < HEADER_BYTES || buf[0] != MAGIC {
             return None;
         }
-        let kind = Kind::from_u8(packet[1])?;
-        let req_type = packet[2];
-        let req_num = u64::from_le_bytes(packet[4..12].try_into().ok()?);
-        let pkt_idx = u16::from_le_bytes(packet[12..14].try_into().ok()?);
-        let num_pkts = u16::from_le_bytes(packet[14..16].try_into().ok()?);
-        let msg_len = u32::from_le_bytes(packet[16..20].try_into().ok()?);
+        let kind = Kind::from_u8(buf[1])?;
+        let req_type = buf[2];
+        let req_num = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        let pkt_idx = u16::from_le_bytes(buf[12..14].try_into().ok()?);
+        let num_pkts = u16::from_le_bytes(buf[14..16].try_into().ok()?);
+        let msg_len = u32::from_le_bytes(buf[16..20].try_into().ok()?);
         if pkt_idx >= num_pkts {
             return None;
         }
-        Some((
-            Header {
-                kind,
-                req_type,
-                req_num,
-                pkt_idx,
-                num_pkts,
-                msg_len,
-            },
-            packet.slice(HEADER_BYTES..),
-        ))
+        Some(Header {
+            kind,
+            req_type,
+            req_num,
+            pkt_idx,
+            num_pkts,
+            msg_len,
+        })
+    }
+}
+
+/// One wire packet as a two-part gather list: the encoded 20-byte header plus
+/// a refcounted slice of the message payload. Keeping the fragment as a slice
+/// of the original message (instead of copying it behind the header) is what
+/// makes the transmit path zero-copy.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Encoded fixed-size header ([`HEADER_BYTES`] long).
+    pub head: Bytes,
+    /// Payload fragment: a shared slice of the original message.
+    pub body: Bytes,
+}
+
+impl Packet {
+    /// Total serialized length (header + fragment).
+    pub fn len(&self) -> usize {
+        self.head.len() + self.body.len()
+    }
+
+    /// Whether the packet is empty (never true for packets built here).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy into one contiguous buffer (tests / legacy consumers).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.len());
+        b.extend_from_slice(&self.head);
+        b.extend_from_slice(&self.body);
+        b.freeze()
     }
 }
 
 /// Fragment `payload` into MTU-sized packets with the given header template.
-/// Always emits at least one packet (possibly empty payload).
-pub fn fragment(kind: Kind, req_type: u8, req_num: u64, payload: &Bytes, mtu: usize) -> Vec<Bytes> {
+/// Always emits at least one packet (possibly empty payload). Fragment bodies
+/// are shared slices of `payload` — no payload byte is copied.
+pub fn fragment(
+    kind: Kind,
+    req_type: u8,
+    req_num: u64,
+    payload: &Bytes,
+    mtu: usize,
+) -> Vec<Packet> {
     assert!(mtu > 0, "mtu must be positive");
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "message too large for u32 msg_len"
+    );
     let num_pkts = payload.len().div_ceil(mtu).max(1);
     assert!(
         num_pkts <= u16::MAX as usize,
@@ -115,7 +192,10 @@ pub fn fragment(kind: Kind, req_type: u8, req_num: u64, payload: &Bytes, mtu: us
             num_pkts: num_pkts as u16,
             msg_len: payload.len() as u32,
         };
-        out.push(hdr.encode(&payload[lo..hi]));
+        out.push(Packet {
+            head: hdr.encode_header(),
+            body: payload.slice(lo..hi),
+        });
     }
     out
 }
@@ -141,7 +221,15 @@ impl Reassembly {
 
     /// Offer a fragment; duplicates are ignored. Returns `true` when the
     /// message is complete.
+    ///
+    /// Fragments whose `num_pkts` or `msg_len` disagree with the first
+    /// fragment seen are rejected: they belong to a different (possibly
+    /// forged) message and previously could corrupt the assembled payload by
+    /// landing in a valid slot index.
     pub fn offer(&mut self, hdr: &Header, frag: Bytes) -> bool {
+        if hdr.num_pkts as usize != self.slots.len() || hdr.msg_len != self.msg_len {
+            return self.is_complete();
+        }
         let idx = hdr.pkt_idx as usize;
         if idx < self.slots.len() && self.slots[idx].is_none() {
             self.slots[idx] = Some(frag);
@@ -157,20 +245,38 @@ impl Reassembly {
 
     /// Concatenate the fragments into the full message.
     ///
+    /// When the fragments are adjacent slices of one original buffer — the
+    /// shape [`fragment`] produces and the simulated fabric preserves — the
+    /// original `Bytes` is recovered without copying. Fragments from foreign
+    /// allocations (e.g. deserialized from a real socket) fall back to one
+    /// concatenating copy.
+    ///
     /// # Panics
     /// Panics if the message is not complete.
     pub fn assemble(self) -> Bytes {
         assert!(self.is_complete(), "assembling incomplete message");
-        if self.slots.len() == 1 {
-            return self
-                .slots
-                .into_iter()
-                .next()
-                .flatten()
-                .expect("slot filled");
+        let mut slots = self.slots;
+        if slots.len() == 1 {
+            return slots.pop().flatten().expect("slot filled");
+        }
+        // Fast path: refuse-to-copy merge of adjacent views.
+        let mut acc = slots[0].clone().expect("slot filled");
+        let mut contiguous = true;
+        for s in &slots[1..] {
+            match acc.try_unsplit(s.clone().expect("slot filled")) {
+                Ok(merged) => acc = merged,
+                Err((lhs, _)) => {
+                    acc = lhs;
+                    contiguous = false;
+                    break;
+                }
+            }
+        }
+        if contiguous {
+            return acc;
         }
         let mut out = BytesMut::with_capacity(self.msg_len as usize);
-        for s in self.slots {
+        for s in slots {
             out.extend_from_slice(&s.expect("slot filled"));
         }
         out.freeze()
@@ -222,7 +328,7 @@ mod tests {
     fn fragment_empty_payload_one_packet() {
         let pkts = fragment(Kind::Request, 1, 9, &Bytes::new(), 100);
         assert_eq!(pkts.len(), 1);
-        let (h, frag) = Header::decode(&pkts[0]).unwrap();
+        let (h, frag) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
         assert_eq!(h.num_pkts, 1);
         assert_eq!(h.msg_len, 0);
         assert!(frag.is_empty());
@@ -237,8 +343,10 @@ mod tests {
         let pkts = fragment(Kind::Response, 2, 11, &payload, 4096);
         assert_eq!(pkts.len(), 10); // 40_000 / 4096 = 9.7 -> 10
                                     // Reassemble out of order with a duplicate.
-        let mut parsed: Vec<(Header, Bytes)> =
-            pkts.iter().map(|p| Header::decode(p).unwrap()).collect();
+        let mut parsed: Vec<(Header, Bytes)> = pkts
+            .iter()
+            .map(|p| Header::decode_split(&p.head, &p.body).unwrap())
+            .collect();
         parsed.rotate_left(3);
         let (h0, f0) = parsed[0].clone();
         let mut r = Reassembly::new(&h0, f0);
@@ -258,9 +366,121 @@ mod tests {
         let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
         assert_eq!(pkts.len(), 2);
         for p in &pkts {
-            let (_, frag) = Header::decode(p).unwrap();
-            assert_eq!(frag.len(), 4096);
+            assert_eq!(p.body.len(), 4096);
+            assert_eq!(p.len(), HEADER_BYTES + 4096);
         }
+    }
+
+    #[test]
+    fn fragment_bodies_share_payload_storage() {
+        let payload = Bytes::from(vec![3u8; 10_000]);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        // Zero-copy: each body points into the original allocation.
+        for (i, p) in pkts.iter().enumerate() {
+            assert_eq!(p.body.as_ptr(), payload[i * 4096..].as_ptr());
+        }
+    }
+
+    #[test]
+    fn assemble_in_order_recovers_original_without_copy() {
+        let payload = Bytes::from(vec![9u8; 20_000]);
+        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096);
+        let parsed: Vec<(Header, Bytes)> = pkts
+            .iter()
+            .map(|p| Header::decode_split(&p.head, &p.body).unwrap())
+            .collect();
+        let (h0, f0) = parsed[0].clone();
+        let mut r = Reassembly::new(&h0, f0);
+        for (h, f) in parsed.into_iter().skip(1) {
+            r.offer(&h, f);
+        }
+        let out = r.assemble();
+        assert_eq!(out, payload);
+        // Same backing storage, not a concatenating copy.
+        assert_eq!(out.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn assemble_out_of_order_still_zero_copy() {
+        // Slots are indexed by pkt_idx, so arrival order doesn't matter for
+        // the adjacency check.
+        let payload = Bytes::from(vec![5u8; 12_000]);
+        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096);
+        let mut parsed: Vec<(Header, Bytes)> = pkts
+            .iter()
+            .map(|p| Header::decode_split(&p.head, &p.body).unwrap())
+            .collect();
+        parsed.reverse();
+        let (h0, f0) = parsed[0].clone();
+        let mut r = Reassembly::new(&h0, f0);
+        for (h, f) in parsed.into_iter().skip(1) {
+            r.offer(&h, f);
+        }
+        let out = r.assemble();
+        assert_eq!(out, payload);
+        assert_eq!(out.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn assemble_foreign_fragments_copies() {
+        // Fragments from unrelated allocations still assemble correctly.
+        let h = |idx: u16| Header {
+            kind: Kind::Request,
+            req_type: 0,
+            req_num: 1,
+            pkt_idx: idx,
+            num_pkts: 2,
+            msg_len: 8,
+        };
+        let mut r = Reassembly::new(&h(0), Bytes::from(vec![1u8; 4]));
+        assert!(r.offer(&h(1), Bytes::from(vec![2u8; 4])));
+        assert_eq!(r.assemble(), Bytes::from(vec![1, 1, 1, 1, 2, 2, 2, 2]));
+    }
+
+    #[test]
+    fn offer_rejects_mismatched_metadata() {
+        let payload = Bytes::from(vec![7u8; 8192]);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        let (h0, f0) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
+        let mut r = Reassembly::new(&h0, f0);
+
+        // Forged fragment claiming a different total packet count.
+        let mut bad_pkts = h0;
+        bad_pkts.pkt_idx = 1;
+        bad_pkts.num_pkts = 3;
+        assert!(!r.offer(&bad_pkts, Bytes::from_static(b"evil")));
+        assert!(!r.is_complete());
+
+        // Forged fragment claiming a different message length.
+        let mut bad_len = h0;
+        bad_len.pkt_idx = 1;
+        bad_len.msg_len = 99;
+        assert!(!r.offer(&bad_len, Bytes::from_static(b"evil")));
+        assert!(!r.is_complete());
+
+        // The genuine second fragment still completes the message.
+        let (h1, f1) = Header::decode_split(&pkts[1].head, &pkts[1].body).unwrap();
+        assert!(r.offer(&h1, f1));
+        assert_eq!(r.assemble(), payload);
+    }
+
+    #[test]
+    fn decode_split_handles_legacy_contiguous_packets() {
+        let h = hdr(Kind::Request);
+        let contiguous = h.encode(b"hello");
+        // Whole packet in the head segment (raw send path).
+        let (h2, f2) = Header::decode_split(&contiguous, &Bytes::new()).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(&f2[..], b"hello");
+        // Whole packet in the body segment.
+        let (h3, f3) = Header::decode_split(&Bytes::new(), &contiguous).unwrap();
+        assert_eq!(h, h3);
+        assert_eq!(&f3[..], b"hello");
+        // Irregular split across the two segments.
+        let (h4, f4) =
+            Header::decode_split(&contiguous.slice(..10), &contiguous.slice(10..)).unwrap();
+        assert_eq!(h, h4);
+        assert_eq!(&f4[..], b"hello");
     }
 
     #[test]
@@ -268,7 +488,7 @@ mod tests {
     fn assemble_incomplete_panics() {
         let payload = Bytes::from(vec![1u8; 100]);
         let pkts = fragment(Kind::Request, 0, 1, &payload, 10);
-        let (h, f) = Header::decode(&pkts[0]).unwrap();
+        let (h, f) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
         let r = Reassembly::new(&h, f);
         let _ = r.assemble();
     }

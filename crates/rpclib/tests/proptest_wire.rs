@@ -20,8 +20,10 @@ proptest! {
         prop_assert_eq!(pkts.len(), payload.len().div_ceil(mtu).max(1));
 
         // Parse and shuffle deterministically.
-        let mut parsed: Vec<(Header, Bytes)> =
-            pkts.iter().map(|p| Header::decode(p).expect("own packets decode")).collect();
+        let mut parsed: Vec<(Header, Bytes)> = pkts
+            .iter()
+            .map(|p| Header::decode_split(&p.head, &p.body).expect("own packets decode"))
+            .collect();
         let mut rng = order_seed;
         for i in (1..parsed.len()).rev() {
             rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

@@ -14,7 +14,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
@@ -26,15 +26,36 @@ use crate::time::SimTime;
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// Task identifier, unique within one [`Sim`].
+///
+/// Encodes a slot index plus a generation: slots are recycled after a task
+/// completes, but the generation is bumped on every free, so identifiers held
+/// by stale wakers or ready-queue entries can never reach a *different* task
+/// that happens to reuse the slot. (The generation wraps at `u32::MAX`; a
+/// collision would need the same slot to be recycled 2^32 times while a stale
+/// waker for its first tenant is still live, which no simulation here
+/// approaches.)
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct TaskId(u64);
+pub struct TaskId {
+    idx: u32,
+    gen: u32,
+}
 
-#[derive(PartialEq, Eq)]
+/// A pending timer. Ordered by `(deadline, registration sequence)`; carries
+/// the registering task's waker so firing is a plain `wake()` with no task
+/// lookup.
 struct TimerEntry {
     at: SimTime,
     seq: u64,
-    task: TaskId,
+    waker: Waker,
 }
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for TimerEntry {}
 
 impl Ord for TimerEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -53,15 +74,31 @@ struct Task {
     future: Option<LocalFuture>,
     /// Whether the task is already in the ready queue (dedup).
     queued: bool,
+    /// The task's waker, created once at spawn. Handing it to a poll is a
+    /// refcount bump; the seed executor allocated a fresh `Rc` per poll.
+    waker: Waker,
+}
+
+/// One slab slot: a generation counter plus the task occupying it (if any).
+struct Slot {
+    gen: u32,
+    task: Option<Task>,
 }
 
 struct State {
     now: SimTime,
     seq: u64,
-    next_task: u64,
     timers: BinaryHeap<Reverse<TimerEntry>>,
     ready: VecDeque<TaskId>,
-    tasks: HashMap<TaskId, Task>,
+    /// Task slab indexed by `TaskId::idx`.
+    slots: Vec<Slot>,
+    /// Indices of vacant slots, reused LIFO.
+    free: Vec<u32>,
+    /// Number of occupied slots (`live_tasks`).
+    live: usize,
+    /// Scratch buffer for draining same-instant timer batches; kept here so
+    /// its capacity is reused across batches instead of reallocated.
+    fired_scratch: Vec<Waker>,
     running: bool,
     polls: u64,
 }
@@ -73,7 +110,13 @@ pub(crate) struct Inner {
 impl Inner {
     fn schedule(&self, id: TaskId) {
         let mut st = self.state.borrow_mut();
-        if let Some(task) = st.tasks.get_mut(&id) {
+        let Some(slot) = st.slots.get_mut(id.idx as usize) else {
+            return;
+        };
+        if slot.gen != id.gen {
+            return; // Stale wake: the slot has been recycled.
+        }
+        if let Some(task) = slot.task.as_mut() {
             if !task.queued {
                 task.queued = true;
                 st.ready.push_back(id);
@@ -85,24 +128,34 @@ impl Inner {
         self.state.borrow().now
     }
 
-    pub(crate) fn add_timer(&self, at: SimTime, task: TaskId) {
+    pub(crate) fn add_timer(&self, at: SimTime, waker: Waker) {
         let mut st = self.state.borrow_mut();
         let seq = st.seq;
         st.seq += 1;
-        st.timers.push(Reverse(TimerEntry { at, seq, task }));
+        st.timers.push(Reverse(TimerEntry { at, seq, waker }));
     }
 
     fn spawn_boxed(self: &Rc<Self>, future: LocalFuture) -> TaskId {
         let mut st = self.state.borrow_mut();
-        let id = TaskId(st.next_task);
-        st.next_task += 1;
-        st.tasks.insert(
-            id,
-            Task {
-                future: Some(future),
-                queued: true,
-            },
-        );
+        let idx = match st.free.pop() {
+            Some(idx) => idx,
+            None => {
+                assert!(st.slots.len() < u32::MAX as usize, "task slab exhausted");
+                st.slots.push(Slot { gen: 0, task: None });
+                (st.slots.len() - 1) as u32
+            }
+        };
+        let id = TaskId {
+            idx,
+            gen: st.slots[idx as usize].gen,
+        };
+        let waker = make_waker(self, id);
+        st.slots[idx as usize].task = Some(Task {
+            future: Some(future),
+            queued: true,
+            waker,
+        });
+        st.live += 1;
         st.ready.push_back(id);
         id
     }
@@ -168,7 +221,6 @@ fn make_waker(inner: &Rc<Inner>, task: TaskId) -> Waker {
 
 thread_local! {
     static CURRENT: RefCell<Vec<Rc<Inner>>> = const { RefCell::new(Vec::new()) };
-    static CURRENT_TASK: RefCell<Vec<TaskId>> = const { RefCell::new(Vec::new()) };
 }
 
 pub(crate) fn current_inner() -> Rc<Inner> {
@@ -177,14 +229,6 @@ pub(crate) fn current_inner() -> Rc<Inner> {
             .last()
             .cloned()
             .expect("simcore: not inside a Sim run loop (no current simulation)")
-    })
-}
-
-fn current_task() -> TaskId {
-    CURRENT_TASK.with(|c| {
-        *c.borrow()
-            .last()
-            .expect("simcore: not inside a simulation task")
     })
 }
 
@@ -244,10 +288,12 @@ impl Sim {
                 state: RefCell::new(State {
                     now: SimTime::ZERO,
                     seq: 0,
-                    next_task: 0,
                     timers: BinaryHeap::new(),
                     ready: VecDeque::new(),
-                    tasks: HashMap::new(),
+                    slots: Vec::new(),
+                    free: Vec::new(),
+                    live: 0,
+                    fired_scratch: Vec::new(),
                     running: false,
                     polls: 0,
                 }),
@@ -267,7 +313,7 @@ impl Sim {
 
     /// Number of tasks that have been spawned and not yet completed.
     pub fn live_tasks(&self) -> usize {
-        self.inner.state.borrow().tasks.len()
+        self.inner.state.borrow().live
     }
 
     /// Spawn a task onto the simulation, returning a handle to its output.
@@ -316,19 +362,22 @@ impl Sim {
                 Some(at) if at <= limit => {
                     let mut st = self.inner.state.borrow_mut();
                     st.now = st.now.max(at);
-                    // Fire every timer scheduled for exactly `at`.
-                    let mut fired = Vec::new();
+                    // Fire every timer scheduled for exactly `at`, reusing the
+                    // scratch buffer's capacity across batches. The buffer is
+                    // moved out so `schedule` (via wake) can re-borrow state.
+                    let mut fired = std::mem::take(&mut st.fired_scratch);
                     while let Some(Reverse(e)) = st.timers.peek() {
                         if e.at > at {
                             break;
                         }
                         let Reverse(e) = st.timers.pop().expect("peeked");
-                        fired.push(e.task);
+                        fired.push(e.waker);
                     }
                     drop(st);
-                    for t in fired {
-                        self.inner.schedule(t);
+                    for w in fired.drain(..) {
+                        w.wake();
                     }
+                    self.inner.state.borrow_mut().fired_scratch = fired;
                 }
                 _ => break,
             }
@@ -379,52 +428,61 @@ impl Sim {
 
     /// Poll one ready task. Returns false if the ready queue is empty.
     fn step_one(&self) -> bool {
-        let (id, mut fut) = {
+        let (id, mut fut, waker) = {
             let mut st = self.inner.state.borrow_mut();
             let id = loop {
                 match st.ready.pop_front() {
                     Some(id) => {
-                        if let Some(task) = st.tasks.get_mut(&id) {
-                            task.queued = false;
-                            if task.future.is_some() {
-                                break id;
-                            }
-                            // Future is momentarily out being polled; requeue.
-                            task.queued = true;
-                            st.ready.push_back(id);
+                        let Some(slot) = st.slots.get_mut(id.idx as usize) else {
                             continue;
+                        };
+                        if slot.gen != id.gen {
+                            continue; // Stale entry: slot recycled since queueing.
                         }
-                        // Task already completed; stale queue entry.
+                        let Some(task) = slot.task.as_mut() else {
+                            continue; // Stale entry: task completed.
+                        };
+                        task.queued = false;
+                        if task.future.is_some() {
+                            break id;
+                        }
+                        // Future is momentarily out being polled; requeue.
+                        task.queued = true;
+                        st.ready.push_back(id);
                         continue;
                     }
                     None => return false,
                 }
             };
-            let fut = st
-                .tasks
-                .get_mut(&id)
-                .and_then(|t| t.future.take())
-                .expect("task future present");
+            let task = st.slots[id.idx as usize]
+                .task
+                .as_mut()
+                .expect("task just matched");
+            let fut = task.future.take().expect("task future present");
+            // Refcount bump on the cached waker, not a fresh allocation.
+            let waker = task.waker.clone();
             st.polls += 1;
-            (id, fut)
+            (id, fut, waker)
         };
 
-        let waker = make_waker(&self.inner, id);
         let mut cx = Context::from_waker(&waker);
-        CURRENT_TASK.with(|c| c.borrow_mut().push(id));
         let poll = fut.as_mut().poll(&mut cx);
-        CURRENT_TASK.with(|c| {
-            c.borrow_mut().pop();
-        });
 
         let mut st = self.inner.state.borrow_mut();
         match poll {
             Poll::Ready(()) => {
-                st.tasks.remove(&id);
+                let slot = &mut st.slots[id.idx as usize];
+                slot.task = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                st.free.push(id.idx);
+                st.live -= 1;
             }
             Poll::Pending => {
-                if let Some(task) = st.tasks.get_mut(&id) {
-                    task.future = Some(fut);
+                let slot = &mut st.slots[id.idx as usize];
+                if slot.gen == id.gen {
+                    if let Some(task) = slot.task.as_mut() {
+                        task.future = Some(fut);
+                    }
                 }
             }
         }
@@ -542,13 +600,15 @@ pub struct Sleep {
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         let inner = current_inner();
         if inner.now() >= self.deadline {
             return Poll::Ready(());
         }
         if !self.registered {
-            inner.add_timer(self.deadline, current_task());
+            // Arm the timer with the polling task's waker: firing it later is
+            // a direct wake with no thread-local lookup or task-table probe.
+            inner.add_timer(self.deadline, cx.waker().clone());
             self.registered = true;
         }
         Poll::Pending

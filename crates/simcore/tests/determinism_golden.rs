@@ -1,0 +1,156 @@
+//! Golden determinism fingerprints for the executor.
+//!
+//! These tests pin the exact `(poll_count, final_time)` of fixed workloads.
+//! The fingerprints were captured on the original HashMap-based scheduler and
+//! must survive any executor-internals rewrite bit-for-bit: every published
+//! figure in `results/` depends on the engine replaying the same event order.
+//!
+//! If a change legitimately alters scheduling semantics (not just internals),
+//! the new values must be re-recorded here *and* every `results/*.csv`
+//! regenerated in the same commit, with the change called out in DESIGN.md.
+
+use simcore::sync::{mpsc, oneshot, Notify, Semaphore};
+use simcore::{Sim, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// A mixed workload touching every wakeup path the executor has: timers
+/// (including colliding deadlines), yield_now, mpsc, oneshot, semaphores,
+/// notify, timeouts, nested spawn, and cross-task join handles.
+fn mixed_workload() -> (u64, u64, u64) {
+    let sim = Sim::new();
+    let checksum = Rc::new(Cell::new(0u64));
+
+    // 8 producers -> 1 consumer over an mpsc channel, with staggered and
+    // deliberately colliding sleep deadlines plus periodic yields.
+    let (tx, mut rx) = mpsc::channel::<u64>();
+    for p in 0..8u64 {
+        let tx = tx.clone();
+        sim.spawn(async move {
+            for i in 0..24u64 {
+                // p=0 and p=4 collide on every deadline; others interleave.
+                let ns = (p % 4) * 50 + i * 100 + 1;
+                simcore::sleep(Duration::from_nanos(ns)).await;
+                if i % 3 == 0 {
+                    simcore::yield_now().await;
+                }
+                let _ = tx.send(p * 1_000 + i);
+            }
+        });
+    }
+    drop(tx);
+    {
+        let checksum = checksum.clone();
+        sim.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                checksum.set(checksum.get().wrapping_mul(31).wrapping_add(v));
+            }
+        });
+    }
+
+    // Semaphore contention: 12 workers over 3 permits, nested spawns inside.
+    let sem = Rc::new(Semaphore::new(3));
+    for w in 0..12u64 {
+        let sem = sem.clone();
+        let checksum = checksum.clone();
+        sim.spawn(async move {
+            let permit = sem.acquire_one().await;
+            simcore::sleep(Duration::from_nanos(70 + w * 11)).await;
+            let inner = simcore::spawn(async move {
+                simcore::yield_now().await;
+                w * 7
+            });
+            checksum.set(checksum.get() ^ inner.await);
+            permit.release();
+        });
+    }
+
+    // Notify fan-out: one notifier, 5 waiters woken one by one.
+    let notify = Rc::new(Notify::new());
+    for _ in 0..5 {
+        let notify = notify.clone();
+        let checksum = checksum.clone();
+        sim.spawn(async move {
+            notify.notified().await;
+            checksum.set(checksum.get().rotate_left(3) ^ 0x9E37);
+        });
+    }
+    {
+        let notify = notify.clone();
+        sim.spawn(async move {
+            for _ in 0..5 {
+                simcore::sleep(Duration::from_nanos(333)).await;
+                notify.notify_one();
+            }
+        });
+    }
+
+    // Oneshot + timeout: one arrives in time, one times out.
+    let (otx, orx) = oneshot::channel::<u64>();
+    sim.spawn(async move {
+        simcore::sleep(Duration::from_nanos(500)).await;
+        let _ = otx.send(42);
+    });
+    {
+        let checksum = checksum.clone();
+        sim.spawn(async move {
+            match simcore::timeout(Duration::from_micros(1), orx).await {
+                Ok(Ok(v)) => checksum.set(checksum.get() + v),
+                _ => checksum.set(checksum.get() + 1_000_000),
+            }
+        });
+    }
+    let (ltx, lrx) = oneshot::channel::<u64>();
+    sim.spawn(async move {
+        simcore::sleep(Duration::from_millis(10)).await;
+        let _ = ltx.send(7);
+    });
+    {
+        let checksum = checksum.clone();
+        sim.spawn(async move {
+            match simcore::timeout(Duration::from_micros(2), lrx).await {
+                Ok(_) => checksum.set(checksum.get() + 2_000_000),
+                Err(_) => checksum.set(checksum.get() + 3_000_000),
+            }
+        });
+    }
+
+    let end = sim.run();
+    (sim.poll_count(), end.nanos(), checksum.get())
+}
+
+/// Captured on the seed executor (HashMap scheduler, per-poll waker alloc).
+/// See module docs before ever changing these numbers.
+const GOLDEN_POLLS: u64 = 454;
+const GOLDEN_END_NS: u64 = 10_000_000;
+const GOLDEN_CHECKSUM: u64 = 6_102_637_803_945_526_047;
+
+#[test]
+fn mixed_workload_matches_golden_fingerprint() {
+    let (polls, end_ns, checksum) = mixed_workload();
+    assert_eq!(
+        (polls, end_ns, checksum),
+        (GOLDEN_POLLS, GOLDEN_END_NS, GOLDEN_CHECKSUM),
+        "executor fingerprint drifted: scheduling order is no longer \
+         reproducing the seed executor's event order"
+    );
+}
+
+#[test]
+fn mixed_workload_is_self_consistent() {
+    // Independent of the golden values: two runs in one process must agree.
+    assert_eq!(mixed_workload(), mixed_workload());
+}
+
+#[test]
+fn run_until_stops_at_virtual_limit() {
+    let sim = Sim::new();
+    sim.spawn(async {
+        loop {
+            simcore::sleep(Duration::from_nanos(100)).await;
+        }
+    });
+    sim.run_until(SimTime::from_nanos(1_000));
+    assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+}

@@ -1,0 +1,149 @@
+//! Slab-recycling safety: task slots are reused after completion, so a waker
+//! (or ready-queue entry) held over from a dead task must never reach the new
+//! tenant of its slot. The generation counter in `TaskId` is what prevents
+//! that; these tests drive spawn/complete churn hard enough to force heavy
+//! slot reuse and then fire stale wakers at recycled slots.
+
+use proptest::prelude::*;
+use simcore::Sim;
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A future that stashes its task's waker on first poll and stays pending
+/// until `release` is set, so tests can hold wakers across task lifetimes.
+struct StashWaker {
+    stash: Rc<RefCell<Option<Waker>>>,
+    release: Rc<Cell<bool>>,
+}
+
+impl Future for StashWaker {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.release.get() {
+            return Poll::Ready(());
+        }
+        *self.stash.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[test]
+fn stale_waker_does_not_wake_slot_reuser() {
+    let sim = Sim::new();
+
+    // Task A stashes its waker, then is released and completes.
+    let stash = Rc::new(RefCell::new(None));
+    let release = Rc::new(Cell::new(false));
+    sim.spawn(StashWaker {
+        stash: stash.clone(),
+        release: release.clone(),
+    });
+    sim.run();
+    let stale = stash.borrow_mut().take().expect("waker stashed");
+    release.set(true);
+    stale.wake_by_ref(); // Legitimate wake: completes A, freeing its slot.
+    sim.run();
+    assert_eq!(sim.live_tasks(), 0);
+
+    // Task B reuses A's slot (single-slot slab at this point) and blocks.
+    let polls_of_b = Rc::new(Cell::new(0u32));
+    let pb = polls_of_b.clone();
+    let b_stash = Rc::new(RefCell::new(None));
+    let b_release = Rc::new(Cell::new(false));
+    let counted = {
+        let b_stash = b_stash.clone();
+        let b_release = b_release.clone();
+        async move {
+            pb.set(pb.get() + 1);
+            StashWaker {
+                stash: b_stash,
+                release: b_release,
+            }
+            .await;
+            pb.set(pb.get() + 1);
+        }
+    };
+    sim.spawn(counted);
+    sim.run();
+    assert_eq!(polls_of_b.get(), 1, "B polled once then blocked");
+
+    // Firing A's stale waker again must not poll B, even though B now
+    // occupies A's old slot.
+    let polls_before = sim.poll_count();
+    stale.wake();
+    sim.run();
+    assert_eq!(
+        sim.poll_count(),
+        polls_before,
+        "stale waker reached the slot's new tenant"
+    );
+    assert_eq!(polls_of_b.get(), 1);
+
+    // B's own waker still works.
+    b_release.set(true);
+    b_stash.borrow_mut().take().expect("B stashed").wake();
+    sim.run();
+    assert_eq!(polls_of_b.get(), 2);
+    assert_eq!(sim.live_tasks(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of completions and slot-reusing respawns:
+    /// firing every dead generation's waker must never poll a live task, and
+    /// live-task accounting must stay exact.
+    #[test]
+    fn churn_never_resurrects_stale_ids(
+        rounds in 1usize..12,
+        width in 1usize..8,
+        fire_between in any::<bool>(),
+    ) {
+        let sim = Sim::new();
+        let mut dead_wakers: Vec<Waker> = Vec::new();
+        for _round in 0..rounds {
+            // Spawn a wave of tasks that block and stash their wakers.
+            let mut wave = Vec::new();
+            for _ in 0..width {
+                let stash = Rc::new(RefCell::new(None));
+                let release = Rc::new(Cell::new(false));
+                sim.spawn(StashWaker { stash: stash.clone(), release: release.clone() });
+                wave.push((stash, release));
+            }
+            sim.run();
+            prop_assert_eq!(sim.live_tasks(), width);
+
+            // Poking every prior generation's waker must not poll anything.
+            if fire_between {
+                let before = sim.poll_count();
+                for w in &dead_wakers {
+                    w.wake_by_ref();
+                }
+                sim.run();
+                prop_assert_eq!(sim.poll_count(), before);
+            }
+
+            // Complete the wave, retiring its wakers into the dead pool.
+            for (stash, release) in wave {
+                release.set(true);
+                let w = stash.borrow_mut().take().expect("stashed");
+                w.wake_by_ref();
+                dead_wakers.push(w);
+            }
+            sim.run();
+            prop_assert_eq!(sim.live_tasks(), 0);
+        }
+
+        // Final barrage: every waker from every generation at once.
+        let before = sim.poll_count();
+        for w in &dead_wakers {
+            w.wake_by_ref();
+        }
+        sim.run();
+        prop_assert_eq!(sim.poll_count(), before);
+    }
+}

@@ -49,6 +49,76 @@ impl fmt::Display for Addr {
     }
 }
 
+/// A datagram payload as a two-segment gather list — a small protocol-header
+/// buffer plus a (typically refcounted, shared) body slice. This mirrors a
+/// NIC scatter/gather descriptor: protocol stacks can prepend a header to a
+/// large application buffer without copying the buffer. Wire time is charged
+/// on the *sum* of the segment lengths, so splitting a payload never changes
+/// modeled bytes-on-wire.
+///
+/// Plain single-buffer sends convert implicitly ([`From<Bytes>`]), carrying
+/// the buffer in `head` with an empty `body`.
+#[derive(Clone, Debug, Default)]
+pub struct Payload {
+    /// First segment (protocol header, or the whole payload).
+    pub head: Bytes,
+    /// Second segment (application data; empty for single-buffer sends).
+    pub body: Bytes,
+}
+
+impl Payload {
+    /// Build a two-segment payload.
+    pub fn two(head: Bytes, body: Bytes) -> Payload {
+        Payload { head, body }
+    }
+
+    /// Total payload length across both segments.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.body.len()
+    }
+
+    /// Whether both segments are empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.body.is_empty()
+    }
+
+    /// A contiguous view of the payload: zero-copy when one segment is
+    /// empty, otherwise one concatenating copy.
+    pub fn contiguous(&self) -> Bytes {
+        if self.body.is_empty() {
+            return self.head.clone();
+        }
+        if self.head.is_empty() {
+            return self.body.clone();
+        }
+        let mut whole = Vec::with_capacity(self.len());
+        whole.extend_from_slice(&self.head);
+        whole.extend_from_slice(&self.body);
+        Bytes::from(whole)
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Payload {
+        Payload {
+            head: b,
+            body: Bytes::new(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Bytes::from(v).into()
+    }
+}
+
+impl From<&'static [u8]> for Payload {
+    fn from(s: &'static [u8]) -> Payload {
+        Bytes::from_static(s).into()
+    }
+}
+
 /// One delivered datagram.
 #[derive(Clone, Debug)]
 pub struct Datagram {
@@ -56,8 +126,8 @@ pub struct Datagram {
     pub src: Addr,
     /// Destination address.
     pub dst: Addr,
-    /// Payload bytes (headers are accounted separately).
-    pub payload: Bytes,
+    /// Payload segments (wire framing is accounted separately).
+    pub payload: Payload,
 }
 
 /// Per-NIC configuration.
@@ -259,8 +329,12 @@ impl Network {
     /// Transmit a datagram from `src` to `dst` without holding the bound
     /// [`Endpoint`] (protocol stacks whose dispatch loop owns the endpoint
     /// use this for their transmit path).
-    pub fn send_datagram(&self, src: Addr, dst: Addr, payload: Bytes) {
-        self.send(Datagram { src, dst, payload });
+    pub fn send_datagram(&self, src: Addr, dst: Addr, payload: impl Into<Payload>) {
+        self.send(Datagram {
+            src,
+            dst,
+            payload: payload.into(),
+        });
     }
 
     /// Internal: transmit a datagram. Reserves the sender's NIC immediately
@@ -330,11 +404,11 @@ impl Endpoint {
     }
 
     /// Send `payload` to `dst` (fire-and-forget, unreliable datagram).
-    pub fn send_to(&self, dst: Addr, payload: Bytes) {
+    pub fn send_to(&self, dst: Addr, payload: impl Into<Payload>) {
         self.net.send(Datagram {
             src: self.addr,
             dst,
-            payload,
+            payload: payload.into(),
         });
     }
 
@@ -379,7 +453,7 @@ mod tests {
         let t = sim.block_on(async move {
             ea.send_to(eb.addr(), Bytes::from_static(b"hello"));
             let d = eb.recv().await;
-            assert_eq!(&d.payload[..], b"hello");
+            assert_eq!(&d.payload.contiguous()[..], b"hello");
             assert_eq!(d.src, ea.addr());
             simcore::now().nanos()
         });
@@ -420,7 +494,7 @@ mod tests {
             }
             let mut got = Vec::new();
             for _ in 0..10 {
-                got.push(eb.recv().await.payload[0]);
+                got.push(eb.recv().await.payload.contiguous()[0]);
             }
             got
         });

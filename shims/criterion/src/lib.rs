@@ -1,0 +1,247 @@
+//! In-repo stand-in for the `criterion` crate, covering exactly the surface
+//! used by `crates/bench/benches/micro.rs`.
+//!
+//! The container this repository builds in has no network access to a cargo
+//! registry, so the real criterion cannot be fetched (see DESIGN.md §7).
+//! This shim keeps the benchmark sources compiling and produces honest — if
+//! statistically unsophisticated — wall-clock measurements:
+//!
+//! * each benchmark is auto-calibrated to run for roughly 20 ms per sample
+//!   (`MEASURE_TARGET`), then measured over a fixed number of samples
+//!   (`SAMPLES`);
+//! * the median per-iteration time is reported, together with min/max and,
+//!   when a [`Throughput`] was declared, derived bytes/sec;
+//! * `--test` on the command line (what CI's smoke job passes) switches to a
+//!   single-iteration "does it run" mode with no timing output.
+//!
+//! It does not implement HTML reports, comparison against saved baselines,
+//! or outlier analysis — use the real criterion for publication numbers.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample during full runs.
+const MEASURE_TARGET: Duration = Duration::from_millis(20);
+/// Number of samples collected per benchmark during full runs.
+const SAMPLES: usize = 15;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Per-iteration timing of a benchmark body.
+pub struct Bencher {
+    /// When true, run the body exactly once and skip measurement.
+    smoke: bool,
+    /// Median ns/iter (populated after `iter` in measurement mode).
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.smoke {
+            std::hint::black_box(body());
+            return;
+        }
+        // Calibrate: find an iteration count that takes ~MEASURE_TARGET.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed < MEASURE_TARGET / 16 {
+                iters.saturating_mul(8)
+            } else {
+                // Close enough to extrapolate directly.
+                let per = elapsed.as_nanos().max(1) as u64 / iters;
+                (MEASURE_TARGET.as_nanos() as u64 / per.max(1)).max(iters + 1)
+            };
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(body());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some(Sample {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+        });
+    }
+}
+
+/// Throughput declaration for a benchmark (bytes processed per iteration).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter, e.g. `write/256`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { smoke: test_mode() }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let smoke = self.smoke;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            smoke,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.smoke, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    smoke: bool,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Bytes(n) | Throughput::Elements(n) => n,
+        });
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.smoke, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_one(&full, self.smoke, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, smoke: bool, throughput: Option<u64>, mut f: F) {
+    let mut b = Bencher {
+        smoke,
+        result: None,
+    };
+    if smoke {
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let mut line = format!(
+                "{name:<44} median {:>12} (min {}, max {})",
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns)
+            );
+            if let Some(bytes) = throughput {
+                let gib_s = bytes as f64 / s.median_ns; // bytes/ns == GB/s
+                line.push_str(&format!("  {:>10.3} GB/s", gib_s));
+            }
+            println!("{line}");
+        }
+        None => println!("{name:<44} (no measurement: body never called iter)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a named group runner, mirroring the real
+/// criterion macro's call shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point: runs each group registered with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        let id = BenchmarkId::new("write", 256);
+        assert_eq!(id.id, "write/256");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50 us");
+        assert_eq!(fmt_ns(12_500_000.0), "12.50 ms");
+    }
+}
