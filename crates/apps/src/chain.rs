@@ -99,10 +99,11 @@ impl ChainApp {
     /// verifying the aggregate on return. Returns the checksum.
     pub async fn request(&self, payload: &Bytes) -> DmResult<u64> {
         let v = self.client.make_value(payload.clone()).await?;
-        let reply = self.client.call(self.entry, CHAIN_REQ, &v).await?;
-        let sum = value_u64(&reply)?;
+        // Release the argument whether or not the call succeeded: a timed-out
+        // request must not leak its by-reference pages.
+        let reply = self.client.call(self.entry, CHAIN_REQ, &v).await;
         self.client.release_async(v);
-        Ok(sum)
+        value_u64(&reply?)
     }
 }
 

@@ -62,6 +62,13 @@ pub struct ClusterConfig {
     pub dm_capacity_pages: usize,
     /// Pass-by-reference threshold override (None = dmrpc default).
     pub threshold: Option<u64>,
+    /// RPC tuning applied to every endpoint created via
+    /// [`Cluster::endpoint`] (chaos runs shorten RTOs and set a retry
+    /// budget so faulted requests fail in bounded time).
+    pub rpc: RpcConfig,
+    /// DM-server lease TTL (DmNet only). `None` (default) disables
+    /// lease-based reclamation, matching the pre-lease wire format.
+    pub lease_ttl: Option<std::time::Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +79,8 @@ impl Default for ClusterConfig {
             dm_server_cores: 4,
             dm_capacity_pages: 65_536, // 256 MiB
             threshold: None,
+            rpc: RpcConfig::default(),
+            lease_ttl: None,
         }
     }
 }
@@ -129,6 +138,7 @@ impl Cluster {
                     capacity_pages: config.dm_capacity_pages,
                     copy_mode: config.copy_mode,
                     cores: config.dm_server_cores,
+                    lease_ttl: config.lease_ttl,
                     ..Default::default()
                 };
                 for i in 0..n_dm_servers.max(1) {
@@ -193,8 +203,7 @@ impl Cluster {
     /// Create a DmRPC endpoint for one service process on `node`, with the
     /// cluster's transfer policy.
     pub async fn endpoint(&self, node: &ServiceNode, port: u16) -> Rc<DmRpc> {
-        self.endpoint_with_config(node, port, RpcConfig::default())
-            .await
+        self.endpoint_with_config(node, port, self.config.rpc).await
     }
 
     /// Like [`Cluster::endpoint`] with an RPC config override.
@@ -232,6 +241,16 @@ impl Cluster {
         };
         self.endpoints.borrow_mut().push(Rc::downgrade(&ep));
         ep
+    }
+
+    /// Every endpoint created so far that is still alive (chaos hooks use
+    /// this to crash clients and verify lease reclamation).
+    pub fn endpoints(&self) -> Vec<Rc<DmRpc>> {
+        self.endpoints
+            .borrow()
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .collect()
     }
 
     /// Reset every statistics counter in the cluster (between warmup and

@@ -1,0 +1,5 @@
+//! Seed-sweeping chaos harness: fault injection + invariant checks.
+//! Seeds per fault class via CHAOS_SEEDS (default 100). See bench::chaos.
+fn main() {
+    bench::chaos::run();
+}

@@ -1,0 +1,587 @@
+//! Chaos harness (DESIGN.md §8): seed-swept fault injection over the
+//! paper's workloads, with global invariant checks after every run.
+//!
+//! Each case builds a fresh simulation, runs one workload under one fault
+//! class driven by a deterministic schedule, then heals the fabric and
+//! verifies:
+//!
+//! * **refcount conservation** — every shard's `check_invariants` holds;
+//! * **no page leaks** — once every client process is gone (crashed, with
+//!   its lease expired), the free list returns to the full pool capacity;
+//! * **COW isolation** — a shared ref always reads its original bytes, no
+//!   matter how many faulted writers COW-diverge their own mappings;
+//! * **typed completion** — every request either completes or returns a
+//!   typed error (a hang would deadlock `block_on`, failing the run);
+//! * **determinism** — the same seed and fault class reproduce the same
+//!   virtual-time fingerprint, bit for bit.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::chain::build_chain;
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::workload::run_closed_loop;
+use bytes::Bytes;
+use dmnet::{DmNetClient, DmServerConfig};
+use dmrpc::DmHandle;
+use memsim::ModelParams;
+use rpclib::{RpcBuilder, RpcConfig};
+use simcore::{Sim, SimRng};
+use simnet::{FabricConfig, GilbertElliott, Network, NicConfig, NodeId};
+
+/// The fault classes swept by the harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    /// Gilbert–Elliott bursty loss on random links.
+    BurstyLoss,
+    /// Transient partitions between random node pairs.
+    Partition,
+    /// Packet duplication + reordering on random links.
+    DupReorder,
+    /// DM-server crash/restart windows plus one client fail-stop
+    /// (exercises lease-based reclamation).
+    ServerCrash,
+}
+
+impl FaultClass {
+    /// All fault classes, in sweep order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::BurstyLoss,
+        FaultClass::Partition,
+        FaultClass::DupReorder,
+        FaultClass::ServerCrash,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::BurstyLoss => "bursty-loss",
+            FaultClass::Partition => "partition",
+            FaultClass::DupReorder => "dup-reorder",
+            FaultClass::ServerCrash => "server-crash",
+        }
+    }
+}
+
+/// Outcome of one chaos case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Requests that completed successfully inside the window.
+    pub completed: u64,
+    /// Requests that returned a typed error inside the window.
+    pub errors: u64,
+    /// Virtual end time of the run, ns.
+    pub end_ns: u64,
+    /// Executor poll count (schedule fingerprint).
+    pub polls: u64,
+    /// Order-sensitive checksum over successful payload reads.
+    pub checksum: u64,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl CaseResult {
+    /// The bit-for-bit reproducibility fingerprint.
+    pub fn fingerprint(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.polls,
+            self.end_ns,
+            self.completed,
+            self.errors,
+            self.checksum,
+        )
+    }
+}
+
+/// RPC tuning for chaos runs: short RTOs and a hard retry budget so every
+/// faulted request fails in bounded virtual time instead of hanging.
+pub fn chaos_rpc_config() -> RpcConfig {
+    RpcConfig {
+        rto: Duration::from_micros(40),
+        rto_per_packet: Duration::from_micros(10),
+        rto_max: Duration::from_micros(320),
+        max_retries: 8,
+        retry_jitter: 0.1,
+        retry_budget: Some(Duration::from_micros(600)),
+        ..RpcConfig::default()
+    }
+}
+
+/// Lease TTL used by chaos runs (short, so reclamation happens within the
+/// drain phase).
+const LEASE_TTL: Duration = Duration::from_micros(200);
+
+/// Shared fault-schedule driver: toggles faults between random pairs from
+/// `links` until `stop` is set, entirely driven by `rng`. `crash` is the
+/// set of crash/restart hooks used by [`FaultClass::ServerCrash`]; when
+/// empty, that class degrades to partition windows (a fail-stop node is
+/// indistinguishable from a partitioned one).
+fn spawn_fault_driver(
+    net: Network,
+    links: Vec<(NodeId, NodeId)>,
+    crash: Vec<Rc<dyn Fn(bool)>>,
+    fault: FaultClass,
+    rng: SimRng,
+    stop: Rc<Cell<bool>>,
+) {
+    assert!(!links.is_empty(), "fault driver needs at least one link");
+    simcore::spawn(async move {
+        loop {
+            let window = Duration::from_nanos(rng.gen_range_in(60_000, 250_000));
+            let (a, b) = links[rng.gen_range(links.len() as u64) as usize];
+            match fault {
+                FaultClass::BurstyLoss => {
+                    let ge = GilbertElliott::bursty();
+                    net.set_link_gilbert(a, b, Some(ge));
+                    net.set_link_gilbert(b, a, Some(ge));
+                    simcore::sleep(window).await;
+                    net.clear_link_faults(a, b);
+                    net.clear_link_faults(b, a);
+                }
+                FaultClass::Partition => {
+                    net.partition_for(a, b, window);
+                    simcore::sleep(window).await;
+                }
+                FaultClass::DupReorder => {
+                    net.set_link_duplicate(a, b, 0.3);
+                    net.set_link_reorder(a, b, 0.3, Duration::from_micros(30));
+                    net.set_link_duplicate(b, a, 0.3);
+                    net.set_link_reorder(b, a, 0.3, Duration::from_micros(30));
+                    simcore::sleep(window).await;
+                    net.clear_link_faults(a, b);
+                    net.clear_link_faults(b, a);
+                }
+                FaultClass::ServerCrash => {
+                    if crash.is_empty() {
+                        net.partition_for(a, b, window);
+                        simcore::sleep(window).await;
+                    } else {
+                        let hook = &crash[rng.gen_range(crash.len() as u64) as usize];
+                        hook(true); // crash
+                        simcore::sleep(window).await;
+                        hook(false); // restart
+                    }
+                }
+            }
+            if stop.get() {
+                return;
+            }
+            let gap = Duration::from_nanos(rng.gen_range_in(40_000, 160_000));
+            simcore::sleep(gap).await;
+            if stop.get() {
+                return;
+            }
+        }
+    });
+}
+
+/// Fig. 5 chain workload under one fault class. For `DmNet`, leases are on
+/// and the teardown crashes every client, then verifies the sweeper returns
+/// every page to the free list.
+pub fn run_chain_case(kind: SystemKind, fault: FaultClass, seed: u64) -> CaseResult {
+    let sim = Sim::new();
+    let (completed, errors, checksum, violations) = sim.block_on(async move {
+        let config = ClusterConfig {
+            rpc: chaos_rpc_config(),
+            lease_ttl: Some(LEASE_TTL),
+            dm_capacity_pages: 4096,
+            ..Default::default()
+        };
+        let cluster = Cluster::new(kind, 2, config, seed);
+        let app = Rc::new(build_chain(&cluster, 3).await);
+        let payload = Bytes::from(vec![7u8; 4096]);
+        let want: u64 = payload.iter().map(|&b| b as u64).sum();
+        app.request(&payload).await.expect("fault-free warmup");
+
+        // Every node pair is a fault candidate: services, the client, and
+        // (for DmNet) the DM servers.
+        let mut nodes: Vec<NodeId> = cluster.servers().iter().map(|s| s.id).collect();
+        nodes.extend(cluster.dm_servers.iter().map(|s| s.addr().node));
+        let links: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let crash: Vec<Rc<dyn Fn(bool)>> = cluster
+            .dm_servers
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                Rc::new(move |down: bool| if down { s.crash() } else { s.restart() })
+                    as Rc<dyn Fn(bool)>
+            })
+            .collect();
+        let stop = Rc::new(Cell::new(false));
+        spawn_fault_driver(
+            cluster.net.clone(),
+            links,
+            crash,
+            fault,
+            SimRng::new(seed ^ 0xFA11),
+            stop.clone(),
+        );
+
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
+        let m = {
+            let app = app.clone();
+            let checksum = checksum.clone();
+            let violations = violations.clone();
+            run_closed_loop(
+                8,
+                Duration::from_micros(100),
+                Duration::from_micros(1200),
+                Rc::new(move |_w, _i| {
+                    let app = app.clone();
+                    let payload = payload.clone();
+                    let checksum = checksum.clone();
+                    let violations = violations.clone();
+                    async move {
+                        let sum = app.request(&payload).await?;
+                        if sum != want {
+                            violations
+                                .borrow_mut()
+                                .push(format!("chain checksum {sum} != {want}"));
+                        }
+                        checksum.set(checksum.get().wrapping_mul(31).wrapping_add(sum));
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await
+        };
+
+        // Heal and drain: surviving retransmissions and async releases
+        // finish inside the retry budget.
+        stop.set(true);
+        cluster.net.clear_faults();
+        for s in &cluster.dm_servers {
+            s.restart();
+        }
+        simcore::sleep(Duration::from_millis(1)).await;
+
+        let mut violations = violations.borrow().clone();
+        if kind == SystemKind::DmNet {
+            for s in &cluster.dm_servers {
+                s.check_invariants_all();
+            }
+            // Fail-stop every client process; once the leases expire the
+            // sweeper must return every page to the free list.
+            for ep in cluster.endpoints() {
+                if let Some(DmHandle::Net(c)) = ep.dm() {
+                    c.simulate_crash();
+                }
+            }
+            simcore::sleep(3 * LEASE_TTL).await;
+            for s in &cluster.dm_servers {
+                s.sweep_expired_leases();
+                s.check_invariants_all();
+                if s.free_pages_total() != s.capacity_pages_total() {
+                    violations.push(format!(
+                        "page leak after lease reclamation: {} free of {}",
+                        s.free_pages_total(),
+                        s.capacity_pages_total()
+                    ));
+                }
+            }
+        }
+        (m.completed, m.errors, checksum.get(), violations)
+    });
+    CaseResult {
+        completed,
+        errors,
+        end_ns: sim.now().nanos(),
+        polls: sim.poll_count(),
+        checksum,
+        violations,
+    }
+}
+
+/// Fig. 7 COW workload under one fault class: four clients hammer one
+/// shared ref with map/COW-write/read cycles while faults run; one client
+/// fail-stops mid-run under [`FaultClass::ServerCrash`]. Teardown crashes
+/// the rest and verifies lease reclamation empties every pin.
+pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
+    const PATTERN: u8 = 0x5A;
+    const REGION: usize = 8 * 4096;
+    let sim = Sim::new();
+    let (completed, errors, checksum, violations) = sim.block_on(async move {
+        let net = Network::new(FabricConfig::default(), seed);
+        let params = ModelParams::new();
+        let dm_node = net.add_node("dm0", NicConfig::default());
+        let servers = dmnet::start_pool(
+            &net,
+            &[dm_node],
+            &params,
+            DmServerConfig {
+                capacity_pages: 4096,
+                lease_ttl: Some(LEASE_TTL),
+                ..Default::default()
+            },
+        );
+        let pool = vec![servers[0].addr()];
+        let mut clients = Vec::new();
+        let mut client_nodes = Vec::new();
+        for i in 0..4 {
+            let node = net.add_node(format!("c{i}"), NicConfig::default());
+            let rpc = RpcBuilder::new(&net, node, 100)
+                .config(chaos_rpc_config())
+                .build();
+            clients.push(Rc::new(
+                DmNetClient::connect(rpc, pool.clone())
+                    .await
+                    .expect("fault-free connect"),
+            ));
+            client_nodes.push(node);
+        }
+        let capacity = servers[0].capacity_pages_total();
+
+        // One shared region: the COW-isolation witness.
+        let addr = clients[0].ralloc(REGION as u64).await.unwrap();
+        clients[0]
+            .rwrite(addr, &Bytes::from(vec![PATTERN; REGION]))
+            .await
+            .unwrap();
+        let shared = Rc::new(clients[0].create_ref(addr, REGION as u64).await.unwrap());
+
+        let links: Vec<(NodeId, NodeId)> = client_nodes.iter().map(|&c| (c, dm_node)).collect();
+        let crash: Vec<Rc<dyn Fn(bool)>> = vec![{
+            let s = servers[0].clone();
+            Rc::new(move |down: bool| if down { s.crash() } else { s.restart() })
+                as Rc<dyn Fn(bool)>
+        }];
+        let stop = Rc::new(Cell::new(false));
+        spawn_fault_driver(
+            net.clone(),
+            links,
+            crash,
+            fault,
+            SimRng::new(seed ^ 0xFA11),
+            stop.clone(),
+        );
+        if fault == FaultClass::ServerCrash {
+            // One client fail-stops mid-run; its lease must reclaim the
+            // mapping it inevitably leaks.
+            let victim = clients[3].clone();
+            simcore::spawn(async move {
+                simcore::sleep(Duration::from_micros(800)).await;
+                victim.simulate_crash();
+            });
+        }
+
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
+        let m = {
+            let clients = clients.clone();
+            let shared = shared.clone();
+            let checksum = checksum.clone();
+            let violations = violations.clone();
+            run_closed_loop(
+                4,
+                Duration::from_micros(100),
+                Duration::from_micros(1500),
+                Rc::new(move |w: usize, _i: u64| {
+                    let c = clients[w % clients.len()].clone();
+                    let shared = shared.clone();
+                    let checksum = checksum.clone();
+                    let violations = violations.clone();
+                    async move {
+                        // COW isolation: the shared ref always reads its
+                        // original bytes, even while other workers write.
+                        let probe = c.read_ref(&shared, 0, 64).await?;
+                        if !probe.iter().all(|&b| b == PATTERN) {
+                            violations
+                                .borrow_mut()
+                                .push("COW isolation: shared ref mutated".into());
+                        }
+                        // Map, COW-diverge, verify the private copy, unmap.
+                        // An op that faults mid-flight leaks its mapping —
+                        // exactly what lease reclamation must clean up.
+                        let mapping = c.map_ref(&shared).await?;
+                        c.rwrite(mapping, &Bytes::from(vec![!PATTERN; 32])).await?;
+                        let back = c.rread(mapping, 32).await?;
+                        if !back.iter().all(|&b| b == !PATTERN) {
+                            violations
+                                .borrow_mut()
+                                .push("COW write lost on private mapping".into());
+                        }
+                        c.rfree(mapping).await?;
+                        checksum.set(
+                            checksum
+                                .get()
+                                .wrapping_mul(31)
+                                .wrapping_add(probe[0] as u64),
+                        );
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await
+        };
+
+        stop.set(true);
+        net.clear_faults();
+        servers[0].restart();
+        simcore::sleep(Duration::from_millis(1)).await;
+        servers[0].check_invariants_all();
+
+        // Teardown: fail-stop every client; the sweeper must return every
+        // page (including mappings leaked by faulted ops and the crashed
+        // client's pins) to the free list.
+        for c in &clients {
+            c.simulate_crash();
+        }
+        simcore::sleep(3 * LEASE_TTL).await;
+        servers[0].sweep_expired_leases();
+        servers[0].check_invariants_all();
+        let mut violations = violations.borrow().clone();
+        if servers[0].free_pages_total() != capacity {
+            violations.push(format!(
+                "page leak after lease reclamation: {} free of {}",
+                servers[0].free_pages_total(),
+                capacity
+            ));
+        }
+        if fault == FaultClass::ServerCrash && servers[0].leases_reclaimed() == 0 {
+            violations.push("crashed client's lease never reclaimed".into());
+        }
+        servers[0].shutdown(); // stops the lease sweeper
+        (m.completed, m.errors, checksum.get(), violations)
+    });
+    CaseResult {
+        completed,
+        errors,
+        end_ns: sim.now().nanos(),
+        polls: sim.poll_count(),
+        checksum,
+        violations,
+    }
+}
+
+type Case = Box<dyn Fn() -> CaseResult>;
+
+/// Result of one seed sweep.
+pub struct SweepOutcome {
+    /// Cases executed (workload x fault class x seed, counting reruns).
+    pub cases: u64,
+    /// Requests completed across all cases.
+    pub completed: u64,
+    /// Typed errors across all cases.
+    pub errors: u64,
+    /// All invariant violations, labeled with their case.
+    pub violations: Vec<String>,
+}
+
+/// Sweep `seeds` across every fault class and both workloads. Every
+/// `determinism_stride`-th seed (0 disables) is run twice and the
+/// fingerprints must match bit for bit.
+pub fn sweep(seeds: std::ops::Range<u64>, determinism_stride: u64) -> SweepOutcome {
+    let mut out = SweepOutcome {
+        cases: 0,
+        completed: 0,
+        errors: 0,
+        violations: Vec::new(),
+    };
+    for seed in seeds {
+        for fault in FaultClass::ALL {
+            let cases: [(&str, Case); 3] = [
+                (
+                    "fig5-chain/erpc",
+                    Box::new(move || run_chain_case(SystemKind::Erpc, fault, seed)),
+                ),
+                (
+                    "fig5-chain/dmnet",
+                    Box::new(move || run_chain_case(SystemKind::DmNet, fault, seed)),
+                ),
+                (
+                    "fig7-cow/dmnet",
+                    Box::new(move || run_cow_case(fault, seed)),
+                ),
+            ];
+            for (name, case) in cases {
+                let r = case();
+                out.cases += 1;
+                out.completed += r.completed;
+                out.errors += r.errors;
+                for v in &r.violations {
+                    out.violations
+                        .push(format!("{name} {} seed {seed}: {v}", fault.label()));
+                }
+                if determinism_stride > 0 && seed % determinism_stride == 0 {
+                    let again = case();
+                    out.cases += 1;
+                    if again.fingerprint() != r.fingerprint() {
+                        out.violations.push(format!(
+                            "{name} {} seed {seed}: nondeterministic ({:?} vs {:?})",
+                            fault.label(),
+                            r.fingerprint(),
+                            again.fingerprint()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the full sweep and print the report; exits nonzero on violations
+/// (the CI `chaos` job gates on this).
+pub fn run() {
+    let seeds: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let mut t = crate::report::Table::new(
+        "xtra_chaos",
+        &["fault", "cases", "completed", "errors", "violations"],
+    );
+    let mut all_violations = Vec::new();
+    for fault in FaultClass::ALL {
+        let mut cases = 0u64;
+        let mut completed = 0u64;
+        let mut errors = 0u64;
+        let mut violations = 0usize;
+        for seed in 0..seeds {
+            for r in [
+                run_chain_case(SystemKind::Erpc, fault, seed),
+                run_chain_case(SystemKind::DmNet, fault, seed),
+                run_cow_case(fault, seed),
+            ] {
+                cases += 1;
+                completed += r.completed;
+                errors += r.errors;
+                violations += r.violations.len();
+                for v in r.violations {
+                    all_violations.push(format!("{} seed {seed}: {v}", fault.label()));
+                }
+            }
+            // Determinism spot-check on every 10th seed.
+            if seed % 10 == 0 {
+                let a = run_cow_case(fault, seed);
+                let b = run_cow_case(fault, seed);
+                cases += 2;
+                if a.fingerprint() != b.fingerprint() {
+                    violations += 1;
+                    all_violations.push(format!(
+                        "{} seed {seed}: nondeterministic cow fingerprint",
+                        fault.label()
+                    ));
+                }
+            }
+        }
+        t.row(&[&fault.label(), &cases, &completed, &errors, &violations]);
+    }
+    t.finish();
+    if !all_violations.is_empty() {
+        for v in &all_violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "  chaos sweep clean: {seeds} seeds x {} fault classes",
+        FaultClass::ALL.len()
+    );
+}

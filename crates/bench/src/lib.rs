@@ -15,9 +15,11 @@
 //! | `fig11` | Fig. 11 DeathStarBench |
 //! | `fig12` | Fig. 12a/b CXL latency sensitivity |
 //! | `extras` | §V-A2 translation overhead, size-threshold and ownership-batching ablations |
+//! | `chaos` | seed-swept fault injection with invariant checks (DESIGN.md §8) |
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod extras;
 pub mod fig10;
 pub mod fig11;

@@ -9,6 +9,7 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use dmcommon::{DmError, DmResult, DmServerId, GlobalPid, Ref, RemoteAddr};
@@ -27,13 +28,22 @@ pub struct DmNetClient {
     servers: Vec<Addr>,
     pids: Vec<GlobalPid>,
     next_rr: Cell<usize>,
+    /// Lease TTL granted by the pool (`None` when the servers do not grant
+    /// leases). When set, a background task renews every lease at TTL/3.
+    lease_ttl: Option<Duration>,
+    /// Shared liveness flag: cleared on drop or simulated crash, which
+    /// stops the renewal task.
+    alive: Rc<Cell<bool>>,
 }
 
 impl DmNetClient {
-    /// Register this process with every DM server in the pool.
+    /// Register this process with every DM server in the pool. If the
+    /// servers grant leases, a background task renews them until the client
+    /// is dropped or [`DmNetClient::simulate_crash`] is called.
     pub async fn connect(rpc: Rc<Rpc>, servers: Vec<Addr>) -> DmResult<DmNetClient> {
         assert!(!servers.is_empty(), "DM pool must have at least one server");
         let mut pids = Vec::with_capacity(servers.len());
+        let mut lease_ttl = None;
         for &s in &servers {
             let resp = rpc
                 .call(s, req::REGISTER, Bytes::new())
@@ -42,13 +52,58 @@ impl DmNetClient {
             let body = parse_response(&resp)?;
             let mut r = Reader::new(&body);
             pids.push(r.pid()?);
+            if let Ok(ns) = r.u64() {
+                lease_ttl = Some(Duration::from_nanos(ns));
+            }
+        }
+        let alive = Rc::new(Cell::new(true));
+        if let Some(ttl) = lease_ttl {
+            // One renewal task per server: a renewal stalled on a crashed
+            // server (waiting out the retry budget) must not delay the
+            // renewals that keep the healthy servers' leases alive.
+            for (i, &s) in servers.iter().enumerate() {
+                let rpc = rpc.clone();
+                let pid = pids[i];
+                let alive = alive.clone();
+                simcore::spawn(async move {
+                    // Renew well inside the TTL so one lost renewal (or a
+                    // short partition) does not expire the lease.
+                    let period = ttl / 3;
+                    loop {
+                        simcore::sleep(period).await;
+                        if !alive.get() {
+                            return;
+                        }
+                        let body = Writer::new().pid(pid).finish();
+                        let _ = rpc.call(s, req::RENEW_LEASE, body).await;
+                        if !alive.get() {
+                            return;
+                        }
+                    }
+                });
+            }
         }
         Ok(DmNetClient {
             rpc,
             servers,
             pids,
             next_rr: Cell::new(0),
+            lease_ttl,
+            alive,
         })
+    }
+
+    /// The lease TTL granted by the pool, if any.
+    pub fn lease_ttl(&self) -> Option<Duration> {
+        self.lease_ttl
+    }
+
+    /// Chaos hook: fail-stop this client. Lease renewal ceases and the
+    /// underlying RPC endpoint goes silent, so the servers reclaim every
+    /// pin of this process once its lease expires.
+    pub fn simulate_crash(&self) {
+        self.alive.set(false);
+        self.rpc.set_offline(true);
     }
 
     /// The DM server addresses this client uses.
@@ -201,5 +256,14 @@ impl DmNetClient {
         let body = Writer::new().u64(*key).finish();
         self.request(*server, req::RELEASE_REF, body).await?;
         Ok(())
+    }
+}
+
+impl Drop for DmNetClient {
+    fn drop(&mut self) {
+        // Stop the lease-renewal task; the servers will reclaim this
+        // process's pins after the TTL (a graceful client frees them
+        // explicitly before dropping).
+        self.alive.set(false);
     }
 }

@@ -160,6 +160,113 @@ mod e2e_tests {
     }
 
     #[test]
+    fn lease_expiry_reclaims_crashed_clients_pins() {
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let ttl = std::time::Duration::from_millis(2);
+            let cfg = DmServerConfig {
+                lease_ttl: Some(ttl),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let pool = vec![servers[0].addr()];
+            let baseline = servers[0].free_pages_total();
+
+            let doomed = DmNetClient::connect(client_rpc(&net, c0, 100), pool.clone())
+                .await
+                .unwrap();
+            assert_eq!(doomed.lease_ttl(), Some(ttl));
+            let survivor = DmNetClient::connect(client_rpc(&net, c1, 100), pool)
+                .await
+                .unwrap();
+
+            // The doomed client pins pages three ways: a mapped region, a
+            // shared ref it created, and a mapping of the survivor's ref.
+            let addr = doomed.ralloc(8 * 4096).await.unwrap();
+            doomed
+                .rwrite(addr, &Bytes::from(vec![7u8; 8 * 4096]))
+                .await
+                .unwrap();
+            let doomed_ref = doomed.create_ref(addr, 8 * 4096).await.unwrap();
+
+            let s_addr = survivor.ralloc(4096).await.unwrap();
+            survivor
+                .rwrite(s_addr, &Bytes::from(vec![9u8; 4096]))
+                .await
+                .unwrap();
+            let s_ref = survivor.create_ref(s_addr, 4096).await.unwrap();
+            let mapped = doomed.map_ref(&s_ref).await.unwrap();
+            doomed.rread(mapped, 4096).await.unwrap();
+
+            assert!(servers[0].free_pages_total() < baseline);
+
+            // Fail-stop: renewals cease, the endpoint goes dark.
+            doomed.simulate_crash();
+
+            // The survivor keeps renewing across several TTLs; only the
+            // crashed process's lease may expire.
+            simcore::sleep(5 * ttl).await;
+
+            assert!(servers[0].leases_reclaimed() >= 1, "lease never expired");
+            // The survivor's data is untouched by the reclamation.
+            let back = survivor.rread(s_addr, 4096).await.unwrap();
+            assert!(back.iter().all(|&b| b == 9));
+            // The doomed process's ref is gone along with its pins.
+            assert_eq!(
+                survivor.read_ref(&doomed_ref, 0, 16).await.unwrap_err(),
+                DmError::InvalidRef
+            );
+
+            // Once the survivor releases its own resources, the free list
+            // returns to baseline: the crashed client leaked nothing.
+            survivor.rfree(s_addr).await.unwrap();
+            survivor.release_ref(&s_ref).await.unwrap();
+            servers[0].check_invariants_all();
+            assert_eq!(servers[0].free_pages_total(), baseline, "pages leaked");
+            servers[0].shutdown(); // stops the lease sweeper
+        });
+    }
+
+    #[test]
+    fn server_restart_grants_lease_grace() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let ttl = std::time::Duration::from_millis(2);
+            let cfg = DmServerConfig {
+                lease_ttl: Some(ttl),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(4096).await.unwrap();
+            dm.rwrite(addr, &Bytes::from(vec![1u8; 4096]))
+                .await
+                .unwrap();
+
+            // Crash the server across more than a full TTL. The live
+            // client's renewals are lost while the server is down, but
+            // restart() grants a grace period instead of reclaiming.
+            servers[0].crash();
+            assert!(servers[0].is_crashed());
+            simcore::sleep(2 * ttl).await;
+            servers[0].restart();
+            simcore::sleep(ttl / 2).await;
+
+            assert_eq!(servers[0].leases_reclaimed(), 0, "live client reclaimed");
+            let back = dm.rread(addr, 4096).await.unwrap();
+            assert!(back.iter().all(|&b| b == 1));
+            dm.rfree(addr).await.unwrap();
+            servers[0].shutdown(); // stops the lease sweeper
+        });
+    }
+
+    #[test]
     fn round_robin_across_two_servers() {
         let r = rig(2, 1);
         let (net, params) = (r.net.clone(), r.params.clone());

@@ -46,6 +46,10 @@ impl OpCost {
 struct RefEntry {
     pages: Vec<PageIdx>,
     len: u64,
+    /// PID that created the ref, for lease-based reclamation: when the
+    /// owning process's lease expires its unconsumed refs are released.
+    /// `None` for refs with no attributable owner.
+    owner: Option<u32>,
 }
 
 /// The state of one DM server's Page manager.
@@ -298,7 +302,14 @@ impl PageManager {
         };
         let key = self.next_key;
         self.next_key += 1;
-        self.refs.insert(key, RefEntry { pages: shared, len });
+        self.refs.insert(
+            key,
+            RefEntry {
+                pages: shared,
+                len,
+                owner: Some(pid.0),
+            },
+        );
         Ok((key, cost))
     }
 
@@ -335,8 +346,9 @@ impl PageManager {
 
     /// One-shot publish: write `data` into fresh pages owned directly by a
     /// new reference (no creator VA mapping at all — the `PUT_REF` fast
-    /// path). Returns `(key, cost)`.
-    pub fn put_ref(&mut self, data: &[u8]) -> DmResult<(u64, OpCost)> {
+    /// path). `owner` attributes the ref for lease-based reclamation.
+    /// Returns `(key, cost)`.
+    pub fn put_ref(&mut self, data: &[u8], owner: Option<GlobalPid>) -> DmResult<(u64, OpCost)> {
         if data.is_empty() {
             return Err(DmError::InvalidAddress);
         }
@@ -362,6 +374,7 @@ impl PageManager {
             RefEntry {
                 pages,
                 len: data.len() as u64,
+                owner: owner.map(|p| p.0),
             },
         );
         Ok((key, cost))
@@ -389,6 +402,45 @@ impl PageManager {
             done += n;
         }
         Ok(out)
+    }
+
+    /// Reclaim everything a (crashed) process pinned: every translation of
+    /// `pid` is removed and its page unreferenced, every ref the process
+    /// created and never handed off is released, and the VA tree is
+    /// discarded. This is the lease-expiry path — the server calls it when
+    /// a client stops renewing — and it must restore refcount conservation
+    /// exactly as if the process had politely `rfree`d and `release_ref`d
+    /// everything.
+    pub fn release_process(&mut self, pid: GlobalPid) -> DmResult<OpCost> {
+        if self.processes.remove(&pid.0).is_none() {
+            return Err(DmError::InvalidAddress);
+        }
+        let mut cost = OpCost::default();
+        // Drop the process's mappings (the fallback when the VaTree is gone:
+        // enumerate the translation table rather than walking regions).
+        let vpns: Vec<u64> = self
+            .translator
+            .iter()
+            .filter(|&((p, _), _)| p == pid.0)
+            .map(|((_, vpn), _)| vpn)
+            .collect();
+        for vpn in vpns {
+            if let Some(p) = self.translator.remove(pid, vpn) {
+                self.unref(p);
+                cost.refcount_updates += 1;
+            }
+        }
+        // Release refs it created that nobody consumed yet.
+        let keys: Vec<u64> = self
+            .refs
+            .iter()
+            .filter(|(_, e)| e.owner == Some(pid.0))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in keys {
+            cost.add(self.release_ref(key)?);
+        }
+        Ok(cost)
     }
 
     /// Length of the region a ref covers.
@@ -641,6 +693,43 @@ mod tests {
         assert_eq!(&pm.read(creator, va, 6).unwrap(), b"shared");
         assert_eq!(&pm.read(a, ava, 6).unwrap(), b"AAAAAA");
         assert_eq!(&pm.read(b, bva, 6).unwrap(), b"BBBBBB");
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn release_process_reclaims_all_pins() {
+        let (mut pm, pid) = pm();
+        let free0 = pm.free_pages();
+        // Mappings + an unconsumed ref + a put_ref, all owned by `pid`.
+        let va = pm.ralloc(pid, 3 * PS).unwrap();
+        pm.write(pid, va, &vec![5u8; 3 * PAGE_SIZE]).unwrap();
+        pm.create_ref(pid, va, 2 * PS).unwrap();
+        pm.put_ref(&[1u8; 100], Some(pid)).unwrap();
+        assert!(pm.free_pages() < free0);
+        pm.release_process(pid).unwrap();
+        assert_eq!(pm.free_pages(), free0, "all pins reclaimed");
+        assert!(pm.ralloc(pid, PS).is_err(), "process is gone");
+        assert!(
+            pm.release_process(pid).is_err(),
+            "double release is rejected"
+        );
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn release_process_keeps_other_processes_pins() {
+        let (mut pm, crasher) = pm();
+        let survivor = pm.register_process();
+        let va = pm.ralloc(crasher, PS).unwrap();
+        pm.write(crasher, va, b"handoff").unwrap();
+        let (key, _) = pm.create_ref(crasher, va, PS).unwrap();
+        // Survivor maps the ref (its own pin) before the crasher dies.
+        let (sva, _, _) = pm.map_ref(survivor, key).unwrap();
+        pm.release_process(crasher).unwrap();
+        // The survivor's mapping keeps the page alive and readable.
+        assert_eq!(&pm.read(survivor, sva, 7).unwrap(), b"handoff");
+        // The crasher's own ref pin is gone.
+        assert_eq!(pm.release_ref(key).unwrap_err(), DmError::InvalidRef);
         pm.check_invariants();
     }
 

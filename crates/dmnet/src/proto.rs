@@ -33,6 +33,10 @@ pub mod req {
     /// Fast path: publish data as a new reference in one round trip, with
     /// no creator mapping (server-side allocation).
     pub const PUT_REF: u8 = 20;
+    /// Renew this process's lease (only meaningful when the server grants
+    /// leases; body = pid). A process whose lease expires has all its pins
+    /// reclaimed — see DESIGN.md §8.
+    pub const RENEW_LEASE: u8 = 21;
 }
 
 /// Well-known port DM servers listen on.

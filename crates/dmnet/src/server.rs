@@ -64,6 +64,13 @@ pub struct DmServerConfig {
     /// the DM virtual address directly to the physical address". When true,
     /// translation lookups cost no CPU.
     pub hw_translation: bool,
+    /// Lease-based reclamation (DESIGN.md §8): when set, `REGISTER` grants
+    /// each process a lease of this TTL (returned in the response) and a
+    /// background sweeper reclaims every pin of processes whose lease
+    /// expires without renewal. `None` (default) disables leases entirely —
+    /// the wire format and event schedule are then identical to a server
+    /// built before leases existed.
+    pub lease_ttl: Option<Duration>,
 }
 
 impl Default for DmServerConfig {
@@ -78,6 +85,7 @@ impl Default for DmServerConfig {
             translation_cpu: Duration::from_nanos(15),
             dispatch_cpu: Duration::from_nanos(400),
             hw_translation: false,
+            lease_ttl: None,
         }
     }
 }
@@ -98,6 +106,13 @@ pub struct DmServer {
     /// PID are only honored from its owner (process isolation — a buggy or
     /// malicious service cannot free another process's regions).
     owners: RefCell<std::collections::HashMap<u32, simnet::Addr>>,
+    /// Lease expiry per PID (virtual time), present only when
+    /// `config.lease_ttl` is set.
+    leases: RefCell<std::collections::HashMap<u32, simcore::SimTime>>,
+    /// PIDs reclaimed by lease expiry (observability for chaos reports).
+    leases_reclaimed: Cell<u64>,
+    /// Set by [`DmServer::shutdown`]; stops the lease sweeper.
+    stopping: Cell<bool>,
     translation_ns: Cell<u64>,
     op_ns: Cell<u64>,
 }
@@ -149,16 +164,91 @@ impl DmServer {
             config,
             next_alloc: Cell::new(0),
             owners: RefCell::new(std::collections::HashMap::new()),
+            leases: RefCell::new(std::collections::HashMap::new()),
+            leases_reclaimed: Cell::new(0),
+            stopping: Cell::new(false),
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
         });
         server.register_handlers();
+        if let Some(ttl) = config.lease_ttl {
+            // Lease sweeper: reclaim expired processes. Holds only a Weak
+            // so dropping the server's last Rc also stops the sweeper.
+            let weak = Rc::downgrade(&server);
+            simcore::spawn(async move {
+                loop {
+                    simcore::sleep(ttl / 2).await;
+                    let Some(srv) = weak.upgrade() else { return };
+                    if srv.stopping.get() {
+                        return;
+                    }
+                    if srv.rpc.is_offline() {
+                        continue; // a crashed server reclaims nothing
+                    }
+                    srv.sweep_expired_leases();
+                }
+            });
+        }
         server
+    }
+
+    /// Reclaim every process whose lease expired (called by the sweeper;
+    /// public so chaos tests can force a sweep at a known virtual time).
+    pub fn sweep_expired_leases(&self) {
+        let now = simcore::now();
+        let expired: Vec<u32> = self
+            .leases
+            .borrow()
+            .iter()
+            .filter(|&(_, &exp)| exp <= now)
+            .map(|(&pid, _)| pid)
+            .collect();
+        for pid in expired {
+            for s in &self.shards {
+                // Already-released shards (or pids never touched here) are
+                // fine: reclamation must be idempotent.
+                let _ = s.pm.borrow_mut().release_process(GlobalPid(pid));
+            }
+            self.leases.borrow_mut().remove(&pid);
+            self.owners.borrow_mut().remove(&pid);
+            self.leases_reclaimed.set(self.leases_reclaimed.get() + 1);
+        }
+    }
+
+    /// Crash the server: it stops receiving and sending until
+    /// [`DmServer::restart`]. Page state survives (fail-stop with durable
+    /// pinned memory — see DESIGN.md §8).
+    pub fn crash(&self) {
+        self.rpc.set_offline(true);
+    }
+
+    /// Recover from [`DmServer::crash`]. Every live lease is extended by a
+    /// full TTL from now so clients that outlived the crash can renew
+    /// before the sweeper runs again.
+    pub fn restart(&self) {
+        self.rpc.set_offline(false);
+        if let Some(ttl) = self.config.lease_ttl {
+            let grace = simcore::now() + ttl;
+            for exp in self.leases.borrow_mut().values_mut() {
+                *exp = (*exp).max(grace);
+            }
+        }
+    }
+
+    /// Whether the server is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.rpc.is_offline()
+    }
+
+    /// Processes reclaimed by lease expiry so far.
+    pub fn leases_reclaimed(&self) -> u64 {
+        self.leases_reclaimed.get()
     }
 
     /// Tear down: unregister handlers so the `Rc` cycle through them is
     /// broken and the server (and its page pool) can be freed.
     pub fn shutdown(&self) {
+        self.stopping.set(true);
         self.rpc.shutdown();
     }
 
@@ -302,6 +392,7 @@ impl DmServer {
             req::WRITE_CREATE_REF,
             req::READ_REF,
             req::PUT_REF,
+            req::RENEW_LEASE,
         ];
         for &ty in types {
             let srv = self.clone();
@@ -337,7 +428,30 @@ impl DmServer {
                 };
                 self.owners.borrow_mut().insert(pid.0, src);
                 self.charge(0, OpCost::default(), 0).await;
+                // Only lease-granting servers append the TTL: the response
+                // (and thus the packet schedule) of a lease-free server is
+                // byte-identical to the pre-lease wire format.
+                if let Some(ttl) = self.config.lease_ttl {
+                    self.leases.borrow_mut().insert(pid.0, simcore::now() + ttl);
+                    return Ok(ok_response(
+                        &Writer::new().pid(pid).u64(ttl.as_nanos() as u64).finish(),
+                    ));
+                }
                 Ok(ok_response(&Writer::new().pid(pid).finish()))
+            }
+            req::RENEW_LEASE => {
+                let mut r = Reader::new(body);
+                let pid = r.pid()?;
+                self.check_owner(pid, src)?;
+                let ttl = self.config.lease_ttl.ok_or(DmError::Malformed)?;
+                match self.leases.borrow_mut().get_mut(&pid.0) {
+                    Some(exp) => *exp = simcore::now() + ttl,
+                    // Lease already expired and reclaimed: the renewal is
+                    // too late, the client must re-register.
+                    None => return Err(DmError::InvalidAddress),
+                }
+                self.charge(0, OpCost::default(), 0).await;
+                Ok(ok_response(&[]))
             }
             req::ALLOC => {
                 let mut r = Reader::new(body);
@@ -451,7 +565,21 @@ impl DmServer {
                 let len = data.len() as u64;
                 let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
                 let shard = self.pick_alloc_shard();
-                let (key, cost) = self.shards[shard].pm.borrow_mut().put_ref(data)?;
+                // Attribute the ref to the caller's PID so lease expiry can
+                // reclaim it. An unregistered caller (e.g. a process whose
+                // lease already expired) is rejected — an anonymous ref
+                // could never be reclaimed.
+                let owner = self
+                    .owners
+                    .borrow()
+                    .iter()
+                    .find(|&(_, &a)| a == src)
+                    .map(|(&pid, _)| GlobalPid(pid))
+                    .ok_or(DmError::InvalidAddress)?;
+                let (key, cost) = self.shards[shard]
+                    .pm
+                    .borrow_mut()
+                    .put_ref(data, Some(owner))?;
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);

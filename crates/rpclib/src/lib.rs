@@ -35,7 +35,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use memsim::NodeMemory;
 use simcore::sync::{oneshot, Semaphore};
-use simcore::{Counter, CpuPool, Histogram};
+use simcore::{Counter, CpuPool, Histogram, SimRng};
 use simnet::{Addr, Network, NodeId, Payload};
 use wire::{fragment, Header, Kind, Packet, Reassembly};
 
@@ -48,14 +48,27 @@ fn packet_payload(p: &Packet) -> Payload {
 /// Errors surfaced to RPC callers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RpcError {
-    /// The request was retransmitted `max_retries` times without a response.
-    Timeout,
+    /// No response after exhausting the retry limit or the retry budget.
+    Timeout {
+        /// Total transmissions performed (1 initial + retransmissions)
+        /// before giving up — diagnosability for chaos reports.
+        attempts: u32,
+    },
+}
+
+impl RpcError {
+    /// Whether this is a timeout (any attempt count).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, RpcError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RpcError::Timeout => write!(f, "rpc timeout"),
+            RpcError::Timeout { attempts } => {
+                write!(f, "rpc timeout after {attempts} attempts")
+            }
         }
     }
 }
@@ -75,6 +88,21 @@ pub struct RpcConfig {
     pub rto_per_packet: Duration,
     /// Retransmissions before giving up with [`RpcError::Timeout`].
     pub max_retries: u32,
+    /// Ceiling for the exponentially backed-off RTO: each retransmission
+    /// doubles the wait, capped at `max(rto_max, effective base RTO)`.
+    /// Backoff only changes timing *after* the first RTO expiry, so
+    /// fault-free runs are unaffected.
+    pub rto_max: Duration,
+    /// Random jitter applied to every retransmission wait: the wait is
+    /// scaled by a factor uniform in `[1, 1 + retry_jitter)`. `0.0`
+    /// (default) draws no random numbers, preserving existing schedules.
+    /// Jitter desynchronizes retry storms after a partition heals.
+    pub retry_jitter: f64,
+    /// Cap on the total virtual time spent retrying one call, measured
+    /// from the first transmission. When the budget expires the call fails
+    /// with [`RpcError::Timeout`] even if `max_retries` is not exhausted.
+    /// `None` (default) disables the budget.
+    pub retry_budget: Option<Duration>,
     /// Per-request server-side dispatch CPU cost (charged on the node's
     /// [`CpuPool`] when one is attached).
     pub per_rpc_cpu: Duration,
@@ -101,6 +129,9 @@ impl Default for RpcConfig {
             rto: Duration::from_millis(20),
             rto_per_packet: Duration::from_micros(20),
             max_retries: 10,
+            rto_max: Duration::from_millis(160),
+            retry_jitter: 0.0,
+            retry_budget: None,
             per_rpc_cpu: Duration::from_nanos(400),
             per_kb_cpu: Duration::from_nanos(400),
             resp_cache_capacity: 128,
@@ -195,6 +226,12 @@ pub struct Rpc {
     handler_times: RefCell<HashMap<u8, Histogram>>,
     peer_credits: RefCell<HashMap<Addr, Semaphore>>,
     is_shutdown: Cell<bool>,
+    /// Crash modeling: an offline endpoint neither receives nor transmits.
+    offline: Cell<bool>,
+    /// Private stream for retry jitter, seeded from the endpoint address so
+    /// it never perturbs the fabric's RNG (and is only drawn from when
+    /// `retry_jitter > 0`).
+    retry_rng: SimRng,
 }
 
 /// Builder for [`Rpc`].
@@ -265,6 +302,10 @@ impl RpcBuilder {
             handler_times: RefCell::new(HashMap::new()),
             peer_credits: RefCell::new(HashMap::new()),
             is_shutdown: Cell::new(false),
+            offline: Cell::new(false),
+            retry_rng: SimRng::new(
+                ((endpoint.addr().node.0 as u64) << 16) ^ endpoint.addr().port as u64,
+            ),
         });
         let loop_rpc = rpc.clone();
         simcore::spawn(async move {
@@ -319,6 +360,29 @@ impl Rpc {
         self.inflight_reqs.borrow_mut().clear();
     }
 
+    /// Crash modeling for chaos tests: while offline, this endpoint drops
+    /// every incoming datagram and suppresses every outgoing one, exactly
+    /// like a powered-off host whose peers see only silence. Local state
+    /// (handlers, caches, dedup sets) is retained, so `set_offline(false)`
+    /// models a fail-stop crash followed by a restart that recovers state.
+    pub fn set_offline(&self, offline: bool) {
+        self.offline.set(offline);
+    }
+
+    /// Whether this endpoint is currently offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline.get()
+    }
+
+    /// All outgoing traffic funnels through here so crash modeling can
+    /// suppress it in one place.
+    fn transmit(&self, dst: Addr, payload: Payload) {
+        if self.offline.get() {
+            return;
+        }
+        self.net.send_datagram(self.addr, dst, payload);
+    }
+
     /// Register the handler for `req_type`, replacing any previous one.
     pub fn register<F, Fut>(&self, req_type: u8, f: F)
     where
@@ -371,34 +435,46 @@ impl Rpc {
             },
         );
         for p in pkts.iter() {
-            self.net.send_datagram(self.addr, dst, packet_payload(p));
+            self.transmit(dst, packet_payload(p));
         }
 
-        // Client-driven retransmission watchdog.
+        // Client-driven retransmission watchdog: exponential backoff with
+        // optional jitter, bounded by both a retry count and (optionally) a
+        // total retry-time budget.
         let rpc = self.clone();
         let watch_pkts = pkts.clone();
         simcore::spawn(async move {
-            let mut retries = 0;
-            let rto = rpc.config.rto + rpc.config.rto_per_packet * (watch_pkts.len() as u32);
+            let mut attempts: u32 = 1; // the initial transmission
+            let base = rpc.config.rto + rpc.config.rto_per_packet * (watch_pkts.len() as u32);
+            let cap = rpc.config.rto_max.max(base);
+            let mut rto = base;
+            let deadline = rpc.config.retry_budget.map(|b| simcore::now() + b);
             loop {
-                simcore::sleep(rto).await;
+                let wait = if rpc.config.retry_jitter > 0.0 {
+                    rto.mul_f64(1.0 + rpc.retry_rng.gen_f64() * rpc.config.retry_jitter)
+                } else {
+                    rto
+                };
+                simcore::sleep(wait).await;
                 if !rpc.pending.borrow().contains_key(&req_num) {
                     return; // completed
                 }
-                if retries >= rpc.config.max_retries {
+                let budget_spent = deadline.is_some_and(|d| simcore::now() >= d);
+                if attempts > rpc.config.max_retries || budget_spent {
                     if let Some(mut p) = rpc.pending.borrow_mut().remove(&req_num) {
                         if let Some(done) = p.done.take() {
-                            let _ = done.send(Err(RpcError::Timeout));
+                            let _ = done.send(Err(RpcError::Timeout { attempts }));
                         }
                     }
                     rpc.stats.timeouts.incr();
                     return;
                 }
-                retries += 1;
+                attempts += 1;
                 rpc.stats.retransmits.incr();
                 for p in watch_pkts.iter() {
-                    rpc.net.send_datagram(rpc.addr, dst, packet_payload(p));
+                    rpc.transmit(dst, packet_payload(p));
                 }
+                rto = (rto * 2).min(cap);
             }
         });
 
@@ -417,7 +493,7 @@ impl Rpc {
                 msg_len: 0,
             }
             .encode(&[]);
-            self.net.send_datagram(self.addr, dst, ack);
+            self.transmit(dst, ack.into());
             self.stats.calls_completed.incr();
         }
         result
@@ -436,6 +512,9 @@ impl Rpc {
     }
 
     fn handle_packet(self: &Rc<Self>, dgram: simnet::Datagram) {
+        if self.offline.get() {
+            return; // crashed hosts hear nothing
+        }
         let Some((hdr, frag)) = Header::decode_split(&dgram.payload.head, &dgram.payload.body)
         else {
             return;
@@ -456,7 +535,7 @@ impl Rpc {
         // Duplicate of a request we already answered: resend cached packets.
         if let Some(pkts) = self.resp_cache.borrow().get(&key) {
             for p in pkts.iter() {
-                self.net.send_datagram(self.addr, src, packet_payload(p));
+                self.transmit(src, packet_payload(p));
             }
             return;
         }
@@ -532,7 +611,7 @@ impl Rpc {
             rpc.resp_cache.borrow_mut().insert(key, pkts.clone());
             rpc.executing.borrow_mut().remove(&key);
             for p in pkts.iter() {
-                rpc.net.send_datagram(rpc.addr, src, packet_payload(p));
+                rpc.transmit(src, packet_payload(p));
             }
         });
     }
@@ -722,7 +801,8 @@ mod tests {
                 )
                 .await
         });
-        assert_eq!(r, Err(RpcError::Timeout));
+        // max_retries = 2: the initial transmission plus two retransmissions.
+        assert_eq!(r, Err(RpcError::Timeout { attempts: 3 }));
     }
 
     #[test]
@@ -821,6 +901,133 @@ mod tests {
             (sim.poll_count(), sim.now().nanos())
         }
         assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn exponential_backoff_spreads_retransmits() {
+        let (sim, net, nodes) = setup(2);
+        let (r, elapsed) = sim.block_on(async move {
+            let client = RpcBuilder::new(&net, nodes[0], 10)
+                .config(RpcConfig {
+                    rto: Duration::from_micros(10),
+                    rto_per_packet: Duration::ZERO,
+                    rto_max: Duration::from_micros(80),
+                    max_retries: 4,
+                    ..Default::default()
+                })
+                .build();
+            let start = simcore::now();
+            let r = client
+                .call(
+                    Addr {
+                        node: nodes[1],
+                        port: 99,
+                    },
+                    1,
+                    Bytes::from_static(b"x"),
+                )
+                .await;
+            (r, simcore::now() - start)
+        });
+        assert_eq!(r, Err(RpcError::Timeout { attempts: 5 }));
+        // Doubling waits 10+20+40+80+80 = 230us; a fixed RTO would fail at
+        // 50us. Allow slack for transmission time.
+        assert!(elapsed >= Duration::from_micros(230), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_micros(300), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn retry_budget_caps_total_retry_time() {
+        let (sim, net, nodes) = setup(2);
+        let (r, elapsed) = sim.block_on(async move {
+            let client = RpcBuilder::new(&net, nodes[0], 10)
+                .config(RpcConfig {
+                    rto: Duration::from_micros(50),
+                    rto_per_packet: Duration::ZERO,
+                    rto_max: Duration::from_micros(50),
+                    max_retries: 1_000_000, // budget, not count, must stop us
+                    retry_budget: Some(Duration::from_micros(300)),
+                    ..Default::default()
+                })
+                .build();
+            let start = simcore::now();
+            let r = client
+                .call(
+                    Addr {
+                        node: nodes[1],
+                        port: 99,
+                    },
+                    1,
+                    Bytes::from_static(b"x"),
+                )
+                .await;
+            (r, simcore::now() - start)
+        });
+        assert!(matches!(r, Err(RpcError::Timeout { attempts }) if attempts >= 2));
+        // Fails at the first wakeup past the 300us budget (here 350us).
+        assert!(elapsed >= Duration::from_micros(300), "elapsed {elapsed:?}");
+        assert!(elapsed <= Duration::from_micros(400), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_per_seed() {
+        fn once() -> (u64, u64, u64) {
+            let (sim, net, nodes) = setup(2);
+            net.set_loss_probability(0.1);
+            let stats = sim.block_on(async move {
+                let server = RpcBuilder::new(&net, nodes[1], 10).build();
+                server.register(1, |ctx| async move { ctx.payload });
+                let client = RpcBuilder::new(&net, nodes[0], 10)
+                    .config(RpcConfig {
+                        rto: Duration::from_micros(100),
+                        retry_jitter: 0.5,
+                        ..Default::default()
+                    })
+                    .build();
+                for _ in 0..50 {
+                    client
+                        .call(server.addr(), 1, Bytes::from(vec![3u8; 3000]))
+                        .await
+                        .unwrap();
+                }
+                client.stats().clone()
+            });
+            (sim.poll_count(), sim.now().nanos(), stats.retransmits.get())
+        }
+        let a = once();
+        assert!(a.2 > 0, "loss must force jittered retransmits");
+        assert_eq!(a, once());
+    }
+
+    #[test]
+    fn offline_endpoint_drops_all_traffic_until_restart() {
+        let (sim, net, nodes) = setup(2);
+        sim.block_on(async move {
+            let server = RpcBuilder::new(&net, nodes[1], 10).build();
+            server.register(1, |ctx| async move { ctx.payload });
+            let client = RpcBuilder::new(&net, nodes[0], 10)
+                .config(RpcConfig {
+                    rto: Duration::from_micros(20),
+                    rto_per_packet: Duration::ZERO,
+                    max_retries: 3,
+                    ..Default::default()
+                })
+                .build();
+            server.set_offline(true);
+            assert!(server.is_offline());
+            let r = client
+                .call(server.addr(), 1, Bytes::from_static(b"dead"))
+                .await;
+            assert!(matches!(r, Err(RpcError::Timeout { .. })));
+            assert_eq!(server.stats().requests_handled.get(), 0);
+            // Restart: same endpoint serves again without rebinding.
+            server.set_offline(false);
+            let r = client
+                .call(server.addr(), 1, Bytes::from_static(b"alive"))
+                .await
+                .unwrap();
+            assert_eq!(&r[..], b"alive");
+        });
     }
 
     #[test]

@@ -46,6 +46,59 @@ proptest! {
         prop_assert_eq!(r.assemble(), payload);
     }
 
+    /// Several senders' fragment streams interleaved on one wire — shuffled
+    /// and partially duplicated — reassemble independently: each message's
+    /// `Reassembly` recovers exactly its own payload, and fragments from the
+    /// other streams never complete or corrupt it.
+    #[test]
+    fn multi_sender_interleaved_streams_reassemble(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..8_000), 2..5),
+        mtu in 1usize..2048,
+        req_type in any::<u8>(),
+        order_seed in any::<u64>(),
+        dup_mask in proptest::collection::vec(any::<bool>(), 0..96),
+    ) {
+        // One message per sender, distinguished by req_num.
+        let payloads: Vec<Bytes> = payloads.into_iter().map(Bytes::from).collect();
+        let mut wire: Vec<(Header, Bytes)> = Vec::new();
+        for (sender, payload) in payloads.iter().enumerate() {
+            for p in fragment(Kind::Request, req_type, sender as u64, payload, mtu) {
+                wire.push(Header::decode_split(&p.head, &p.body).expect("own packets decode"));
+            }
+        }
+
+        // Shuffle the combined stream deterministically, then duplicate a
+        // prefix-masked subset.
+        let mut rng = order_seed;
+        for i in (1..wire.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            wire.swap(i, (rng >> 33) as usize % (i + 1));
+        }
+        let dups: Vec<(Header, Bytes)> = wire
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dup_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, p)| p.clone())
+            .collect();
+
+        // Demultiplex by req_num, as the endpoint does.
+        let mut streams: Vec<Option<Reassembly>> =
+            (0..payloads.len()).map(|_| None).collect();
+        for (h, f) in wire.into_iter().chain(dups) {
+            let slot = &mut streams[h.req_num as usize];
+            match slot {
+                Some(r) => { r.offer(&h, f); }
+                None => *slot = Some(Reassembly::new(&h, f)),
+            }
+        }
+        for (sender, (r, payload)) in streams.into_iter().zip(&payloads).enumerate() {
+            let r = r.expect("every stream saw at least one fragment");
+            prop_assert!(r.is_complete(), "sender {} incomplete", sender);
+            prop_assert_eq!(r.assemble(), payload.clone());
+        }
+    }
+
     /// Header decode is total: arbitrary bytes never panic, and valid
     /// headers survive an encode/decode round trip.
     #[test]

@@ -65,6 +65,56 @@ fn handler_runs_at_most_once_under_retransmission() {
     );
 }
 
+/// Forced packet duplication on both directions of the link: the response
+/// cache must answer the duplicate requests, so handler side effects happen
+/// exactly once per completed call even though the wire carries each packet
+/// (and each response) several times.
+#[test]
+fn handler_runs_at_most_once_under_forced_duplication() {
+    let (sim, net, a, b) = rig();
+    // Heavy duplication plus mild reorder so duplicates do not arrive
+    // back-to-back (back-to-back dups are the easy case).
+    net.set_link_duplicate(a, b, 0.8);
+    net.set_link_duplicate(b, a, 0.8);
+    net.set_link_reorder(a, b, 0.4, Duration::from_micros(40));
+    net.set_link_reorder(b, a, 0.4, Duration::from_micros(40));
+    let net2 = net.clone();
+    let (executions, completed) = sim.block_on(async move {
+        let counter = Rc::new(Cell::new(0u32));
+        let server = RpcBuilder::new(&net2, b, 10).build();
+        let c2 = counter.clone();
+        server.register(1, move |ctx| {
+            let c = c2.clone();
+            async move {
+                c.set(c.get() + 1);
+                simcore::sleep(Duration::from_micros(30)).await;
+                ctx.payload
+            }
+        });
+        let client = RpcBuilder::new(&net2, a, 10).build();
+        let mut completed = 0u32;
+        for i in 0..50u32 {
+            let r = client
+                .call(server.addr(), 1, Bytes::from(i.to_le_bytes().to_vec()))
+                .await;
+            if let Ok(resp) = r {
+                assert_eq!(u32::from_le_bytes(resp[..4].try_into().unwrap()), i);
+                completed += 1;
+            }
+        }
+        (counter.get(), completed)
+    });
+    assert_eq!(completed, 50, "duplication alone must not lose calls");
+    assert!(
+        net.duplicated() > 0,
+        "fault plane never duplicated a packet"
+    );
+    assert_eq!(
+        executions, completed,
+        "duplicated requests re-executed the handler"
+    );
+}
+
 /// Responses larger than one packet survive loss of arbitrary fragments.
 #[test]
 fn multi_packet_response_under_loss() {
@@ -116,7 +166,7 @@ fn shutdown_server_times_out_cleanly() {
         let r = client
             .call(server.addr(), 1, Bytes::from_static(b"y"))
             .await;
-        assert_eq!(r, Err(RpcError::Timeout));
+        assert_eq!(r, Err(RpcError::Timeout { attempts: 3 }));
     });
 }
 

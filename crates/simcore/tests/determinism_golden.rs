@@ -143,6 +143,96 @@ fn mixed_workload_is_self_consistent() {
     assert_eq!(mixed_workload(), mixed_workload());
 }
 
+/// A miniature chaos schedule built from executor primitives only: a fault
+/// driver forked from the seed rng toggles an outage flag on random windows
+/// while workers with randomized think times retry around it. This is the
+/// same shape as the full `bench::chaos` harness (seeded rng -> fault
+/// windows -> retries), pinned here at the executor level so a determinism
+/// regression is caught without the network stack in the loop.
+fn chaos_schedule(seed: u64) -> (u64, u64, u64) {
+    let sim = Sim::new();
+    let rng = simcore::SimRng::new(seed);
+    let checksum = Rc::new(Cell::new(0u64));
+    let outage = Rc::new(Cell::new(false));
+    let stop = Rc::new(Cell::new(false));
+
+    // Fault driver: random outage windows separated by random gaps.
+    {
+        let rng = rng.fork();
+        let outage = outage.clone();
+        let stop = stop.clone();
+        sim.spawn(async move {
+            while !stop.get() {
+                simcore::sleep(Duration::from_nanos(rng.gen_range_in(200, 900))).await;
+                outage.set(true);
+                simcore::sleep(Duration::from_nanos(rng.gen_range_in(100, 500))).await;
+                outage.set(false);
+            }
+        });
+    }
+
+    // Workers: randomized think time, an "RPC" that fails during outages
+    // and succeeds otherwise after a randomized service time, with one
+    // retry after a backoff. Results fold into an order-sensitive checksum.
+    let (tx, mut rx) = mpsc::channel::<u64>();
+    for w in 0..6u64 {
+        let rng = rng.fork();
+        let outage = outage.clone();
+        let tx = tx.clone();
+        sim.spawn(async move {
+            for i in 0..30u64 {
+                simcore::sleep(Duration::from_nanos(rng.gen_range_in(50, 400))).await;
+                let mut value = w * 1_000 + i;
+                for attempt in 0..2u64 {
+                    simcore::sleep(Duration::from_nanos(rng.gen_range_in(20, 120))).await;
+                    if !outage.get() {
+                        value = value.wrapping_add(attempt << 32);
+                        break;
+                    }
+                    // Backoff with jitter before the retry.
+                    simcore::sleep(Duration::from_nanos(100 + rng.gen_range(100))).await;
+                    value |= 1 << 63; // mark as faulted at least once
+                }
+                let _ = tx.send(value);
+            }
+        });
+    }
+    drop(tx);
+    {
+        let checksum = checksum.clone();
+        let stop = stop.clone();
+        sim.spawn(async move {
+            while let Some(v) = rx.recv().await {
+                checksum.set(checksum.get().wrapping_mul(31).wrapping_add(v));
+            }
+            stop.set(true);
+        });
+    }
+
+    let end = sim.run();
+    (sim.poll_count(), end.nanos(), checksum.get())
+}
+
+/// Captured alongside the chaos harness (PR: fault-injection plane). Same
+/// re-recording rules as the mixed-workload golden above.
+const CHAOS_GOLDEN: (u64, u64, u64) = (738, 14_667, 1_943_921_390_664_385_614);
+
+#[test]
+fn chaos_schedule_matches_golden_fingerprint() {
+    assert_eq!(
+        chaos_schedule(0xC4A05),
+        CHAOS_GOLDEN,
+        "chaos-schedule fingerprint drifted: seeded fault windows no longer \
+         replay the same executor event order"
+    );
+}
+
+#[test]
+fn chaos_schedule_reproducible_and_seed_sensitive() {
+    assert_eq!(chaos_schedule(7), chaos_schedule(7));
+    assert_ne!(chaos_schedule(7), chaos_schedule(8), "seed has no effect");
+}
+
 #[test]
 fn run_until_stops_at_virtual_limit() {
     let sim = Sim::new();

@@ -17,7 +17,9 @@
 
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
+mod faults;
+
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -26,6 +28,9 @@ use std::time::Duration;
 use bytes::Bytes;
 use simcore::sync::mpsc;
 use simcore::{Counter, RateResource, SimRng};
+
+pub use faults::GilbertElliott;
+use faults::{FaultPlane, Verdict};
 
 /// Ethernet + IP + UDP framing overhead added to every datagram on the wire.
 pub const WIRE_HEADER_BYTES: u64 = 42;
@@ -184,9 +189,16 @@ struct NodeState {
 struct NetInner {
     nodes: RefCell<Vec<NodeState>>,
     fabric: RefCell<FabricConfig>,
+    faults: RefCell<FaultPlane>,
+    /// True iff any per-link fault or partition is configured. Keeps the
+    /// fault-free delivery path free of borrows and RNG draws.
+    faults_active: Cell<bool>,
     rng: SimRng,
     delivered: Counter,
     dropped_loss: Counter,
+    dropped_partition: Counter,
+    duplicated: Counter,
+    reordered: Counter,
     dropped_unbound: Counter,
 }
 
@@ -204,9 +216,14 @@ impl Network {
             inner: Rc::new(NetInner {
                 nodes: RefCell::new(Vec::new()),
                 fabric: RefCell::new(fabric),
+                faults: RefCell::new(FaultPlane::default()),
+                faults_active: Cell::new(false),
                 rng: SimRng::new(seed),
                 delivered: Counter::new(),
                 dropped_loss: Counter::new(),
+                dropped_partition: Counter::new(),
+                duplicated: Counter::new(),
+                reordered: Counter::new(),
                 dropped_unbound: Counter::new(),
             }),
         }
@@ -280,9 +297,95 @@ impl Network {
         self.bind(node, port)
     }
 
-    /// Set the per-packet loss probability (for reliability tests).
+    /// Set the fabric-wide per-packet loss probability (for reliability
+    /// tests). Per-link overrides ([`Network::set_link_loss`]) take
+    /// precedence on their links.
     pub fn set_loss_probability(&self, p: f64) {
         self.inner.fabric.borrow_mut().loss_probability = p;
+    }
+
+    fn refresh_faults_active(&self) {
+        self.inner
+            .faults_active
+            .set(!self.inner.faults.borrow().is_empty());
+    }
+
+    /// Set (or with `None`, clear) a fixed i.i.d. loss probability on the
+    /// directed link `src -> dst`, overriding the fabric-wide default.
+    pub fn set_link_loss(&self, src: NodeId, dst: NodeId, p: Option<f64>) {
+        self.inner.faults.borrow_mut().set_loss(src, dst, p);
+        self.refresh_faults_active();
+    }
+
+    /// Install (or with `None`, clear) a Gilbert–Elliott bursty-loss model
+    /// on the directed link `src -> dst`. The chain starts in the good
+    /// state and advances once per packet.
+    pub fn set_link_gilbert(&self, src: NodeId, dst: NodeId, cfg: Option<GilbertElliott>) {
+        self.inner.faults.borrow_mut().set_gilbert(src, dst, cfg);
+        self.refresh_faults_active();
+    }
+
+    /// Duplicate packets on `src -> dst` with probability `p` (0 clears).
+    pub fn set_link_duplicate(&self, src: NodeId, dst: NodeId, p: f64) {
+        self.inner.faults.borrow_mut().set_duplicate(src, dst, p);
+        self.refresh_faults_active();
+    }
+
+    /// With probability `p`, hold a packet on `src -> dst` for an extra
+    /// uniform delay in `(0, max_delay]` so it is reordered relative to
+    /// its neighbors (`p = 0` clears).
+    pub fn set_link_reorder(&self, src: NodeId, dst: NodeId, p: f64, max_delay: Duration) {
+        self.inner
+            .faults
+            .borrow_mut()
+            .set_reorder(src, dst, p, max_delay);
+        self.refresh_faults_active();
+    }
+
+    /// Remove every fault (loss model, duplication, reordering, partition)
+    /// from the directed link `src -> dst`.
+    pub fn clear_link_faults(&self, src: NodeId, dst: NodeId) {
+        self.inner.faults.borrow_mut().clear_link(src, dst);
+        self.refresh_faults_active();
+    }
+
+    /// Remove all per-link faults and partitions (the fabric-wide
+    /// `loss_probability` is left untouched).
+    pub fn clear_faults(&self) {
+        self.inner.faults.borrow_mut().clear_all();
+        self.refresh_faults_active();
+    }
+
+    /// Partition nodes `a` and `b` (both directions) for `window` of
+    /// virtual time starting now: every packet between them is dropped
+    /// until the window expires. Windows extend, never shrink. Must be
+    /// called from within a simulation context.
+    pub fn partition_for(&self, a: NodeId, b: NodeId, window: Duration) {
+        let until = simcore::now() + window;
+        let mut f = self.inner.faults.borrow_mut();
+        f.partition_until(a, b, until);
+        f.partition_until(b, a, until);
+        drop(f);
+        self.refresh_faults_active();
+    }
+
+    /// Remove any partition between `a` and `b` (both directions) before
+    /// its window expires.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut f = self.inner.faults.borrow_mut();
+        f.heal(a, b);
+        f.heal(b, a);
+        drop(f);
+        self.refresh_faults_active();
+    }
+
+    /// Whether packets from `a` to `b` are currently inside a partition
+    /// window. Must be called from within a simulation context.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner
+            .faults
+            .borrow()
+            .is_partitioned(a, b, simcore::now())
     }
 
     /// Datagrams delivered end-to-end.
@@ -290,9 +393,25 @@ impl Network {
         self.inner.delivered.get()
     }
 
-    /// Datagrams dropped by simulated loss.
+    /// Datagrams dropped by simulated loss (fixed or bursty).
     pub fn dropped_loss(&self) -> u64 {
         self.inner.dropped_loss.get()
+    }
+
+    /// Datagrams dropped inside a partition window.
+    pub fn dropped_partition(&self) -> u64 {
+        self.inner.dropped_partition.get()
+    }
+
+    /// Datagrams duplicated by fault injection (counted once per extra
+    /// copy).
+    pub fn duplicated(&self) -> u64 {
+        self.inner.duplicated.get()
+    }
+
+    /// Datagrams held for an extra reordering delay.
+    pub fn reordered(&self) -> u64 {
+        self.inner.reordered.get()
     }
 
     /// Datagrams dropped because no endpoint was bound at the destination.
@@ -315,7 +434,9 @@ impl Network {
         self.inner.nodes.borrow()[node.0 as usize].tx.busy_time()
     }
 
-    /// Reset all NIC byte/op counters (between warmup and measurement).
+    /// Reset all NIC byte/op counters and every delivery/drop counter —
+    /// including the fault-injection counters — so scoped chaos phases
+    /// start from a clean slate (between warmup and measurement).
     pub fn reset_stats(&self) {
         for st in self.inner.nodes.borrow().iter() {
             st.tx.reset_stats();
@@ -323,6 +444,9 @@ impl Network {
         }
         self.inner.delivered.reset();
         self.inner.dropped_loss.reset();
+        self.inner.dropped_partition.reset();
+        self.inner.duplicated.reset();
+        self.inner.reordered.reset();
         self.inner.dropped_unbound.reset();
     }
 
@@ -353,28 +477,67 @@ impl Network {
                 (f.switch_latency, f.loss_probability)
             };
             simcore::sleep(latency).await;
-            if loss_p > 0.0 && net.inner.rng.gen_bool(loss_p) {
-                net.inner.dropped_loss.incr();
-                return;
+            // Fault plane: only consulted when some fault is configured or
+            // the fabric-wide loss knob is on — the fault-free path draws
+            // no random numbers and stays bit-identical.
+            if net.inner.faults_active.get() || loss_p > 0.0 {
+                let verdict = net.inner.faults.borrow_mut().verdict(
+                    dgram.src.node,
+                    dgram.dst.node,
+                    simcore::now(),
+                    loss_p,
+                    &net.inner.rng,
+                );
+                match verdict {
+                    Verdict::DropLoss => {
+                        net.inner.dropped_loss.incr();
+                        return;
+                    }
+                    Verdict::DropPartition => {
+                        net.inner.dropped_partition.incr();
+                        return;
+                    }
+                    Verdict::Deliver {
+                        copies,
+                        extra_delay,
+                    } => {
+                        if let Some(d) = extra_delay {
+                            net.inner.reordered.incr();
+                            simcore::sleep(d).await;
+                        }
+                        for copy in 0..copies {
+                            if copy > 0 {
+                                net.inner.duplicated.incr();
+                            }
+                            net.deliver_local(dgram.clone(), wire_size).await;
+                        }
+                        return;
+                    }
+                }
             }
-            // Receive-side NIC occupancy.
-            let rx_done = {
-                let nodes = net.inner.nodes.borrow();
-                nodes[dgram.dst.node.0 as usize].rx.reserve(wire_size)
-            };
-            simcore::sleep_until(rx_done).await;
-            let sender = {
-                let nodes = net.inner.nodes.borrow();
-                nodes[dgram.dst.node.0 as usize]
-                    .ports
-                    .get(&dgram.dst.port)
-                    .cloned()
-            };
-            match sender {
-                Some(tx) if tx.send(dgram).is_ok() => net.inner.delivered.incr(),
-                _ => net.inner.dropped_unbound.incr(),
-            }
+            net.deliver_local(dgram, wire_size).await;
         });
+    }
+
+    /// Receive-side half of delivery: rx NIC occupancy, port lookup,
+    /// enqueue into the bound endpoint (or count the drop).
+    async fn deliver_local(&self, dgram: Datagram, wire_size: u64) {
+        let rx_done = {
+            let nodes = self.inner.nodes.borrow();
+            nodes[dgram.dst.node.0 as usize].rx.reserve(wire_size)
+        };
+        simcore::sleep_until(rx_done).await;
+        let sender = {
+            let nodes = self.inner.nodes.borrow();
+            nodes[dgram.dst.node.0 as usize]
+                .ports
+                .get(&dgram.dst.port)
+                .cloned()
+        };
+        match sender {
+            Some(tx) if tx.send(dgram).is_ok() => self.inner.delivered.incr(),
+            _ => self.inner.dropped_unbound.incr(),
+        }
     }
 
     fn unbind(&self, addr: Addr) {
@@ -616,5 +779,169 @@ mod tests {
         let a = net.add_node("a", gbe100());
         let _e1 = net.bind(a, 5);
         let _e2 = net.bind(a, 5);
+    }
+
+    #[test]
+    fn per_link_loss_scopes_to_one_link() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let c = net.add_node("c", gbe100());
+        let ea = net.bind(a, 1);
+        let _eb = net.bind(b, 1);
+        let _ec = net.bind(c, 1);
+        net.set_link_loss(a, b, Some(1.0));
+        sim.block_on(async move {
+            for _ in 0..100 {
+                ea.send_to(Addr { node: b, port: 1 }, Bytes::from_static(b"x"));
+                ea.send_to(Addr { node: c, port: 1 }, Bytes::from_static(b"x"));
+            }
+            simcore::sleep(Duration::from_millis(1)).await;
+        });
+        // Every a->b packet dies; every a->c packet survives.
+        assert_eq!(net.dropped_loss(), 100);
+        assert_eq!(net.delivered(), 100);
+        net.set_link_loss(a, b, None);
+        assert!(
+            !net.inner.faults_active.get(),
+            "cleared faults re-arm fast path"
+        );
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        let net2 = net.clone();
+        sim.block_on(async move {
+            net2.partition_for(a, b, Duration::from_micros(50));
+            assert!(net2.is_partitioned(a, b));
+            assert!(net2.is_partitioned(b, a));
+            ea.send_to(eb.addr(), Bytes::from_static(b"dead"));
+            simcore::sleep(Duration::from_micros(100)).await;
+            assert!(!net2.is_partitioned(a, b));
+            ea.send_to(eb.addr(), Bytes::from_static(b"alive"));
+            let d = eb.recv().await;
+            assert_eq!(&d.payload.contiguous()[..], b"alive");
+        });
+        assert_eq!(net.dropped_partition(), 1);
+        assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        net.set_link_duplicate(a, b, 1.0);
+        let got = sim.block_on(async move {
+            for i in 0..5u8 {
+                ea.send_to(eb.addr(), Bytes::from(vec![i]));
+            }
+            let mut got = Vec::new();
+            for _ in 0..10 {
+                got.push(eb.recv().await.payload.contiguous()[0]);
+            }
+            got
+        });
+        // Copies contend with later packets at the rx NIC, so arrival order
+        // interleaves; each payload must simply arrive exactly twice.
+        let mut sorted = got;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        assert_eq!(net.duplicated(), 5);
+        assert_eq!(net.delivered(), 10);
+    }
+
+    #[test]
+    fn reorder_overtakes_fifo() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let mut eb = net.bind(b, 1);
+        // Every packet is held for a large random delay: with 20 packets the
+        // arrival order almost surely differs from the send order.
+        net.set_link_reorder(a, b, 1.0, Duration::from_micros(100));
+        let got = sim.block_on(async move {
+            for i in 0..20u8 {
+                ea.send_to(eb.addr(), Bytes::from(vec![i]));
+            }
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.push(eb.recv().await.payload.contiguous()[0]);
+            }
+            got
+        });
+        assert_eq!(net.reordered(), 20);
+        let sorted: Vec<u8> = (0..20).collect();
+        assert_ne!(got, sorted, "reordering changed arrival order");
+        let mut resorted = got.clone();
+        resorted.sort_unstable();
+        assert_eq!(resorted, sorted, "no packet lost or duplicated");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty_and_deterministic() {
+        let run = |seed: u64| -> (u64, u64) {
+            let sim = Sim::new();
+            let net = Network::new(FabricConfig::default(), seed);
+            let a = net.add_node("a", gbe100());
+            let b = net.add_node("b", gbe100());
+            let ea = net.bind(a, 1);
+            let _eb = net.bind(b, 1);
+            net.set_link_gilbert(a, b, Some(GilbertElliott::bursty()));
+            sim.block_on(async move {
+                for _ in 0..2000 {
+                    ea.send_to(Addr { node: b, port: 1 }, Bytes::from_static(b"x"));
+                }
+                simcore::sleep(Duration::from_millis(10)).await;
+            });
+            (net.dropped_loss(), net.delivered())
+        };
+        let (lost, delivered) = run(42);
+        assert_eq!(lost + delivered, 2000);
+        // Stationary bad-state share = 0.02/(0.02+0.25) ~ 7.4%, so the mean
+        // loss rate is ~5.3%: far above loss_good, far below loss_bad.
+        assert!((20..400).contains(&lost), "lost = {lost}");
+        // Same seed replays the exact same schedule.
+        assert_eq!(run(42), (lost, delivered));
+        assert_ne!(run(43), (lost, delivered));
+    }
+
+    #[test]
+    fn reset_stats_clears_fault_counters() {
+        let sim = Sim::new();
+        let net = Network::new(FabricConfig::default(), 7);
+        let a = net.add_node("a", gbe100());
+        let b = net.add_node("b", gbe100());
+        let ea = net.bind(a, 1);
+        let _eb = net.bind(b, 1);
+        net.set_link_loss(a, b, Some(1.0));
+        net.set_link_duplicate(a, b, 1.0);
+        let net2 = net.clone();
+        sim.block_on(async move {
+            net2.partition_for(a, b, Duration::from_secs(1));
+            for _ in 0..10 {
+                ea.send_to(Addr { node: b, port: 1 }, Bytes::from_static(b"x"));
+            }
+            simcore::sleep(Duration::from_micros(50)).await;
+        });
+        assert_eq!(net.dropped_partition(), 10);
+        net.reset_stats();
+        assert_eq!(net.dropped_loss(), 0);
+        assert_eq!(net.dropped_partition(), 0);
+        assert_eq!(net.duplicated(), 0);
+        assert_eq!(net.reordered(), 0);
+        assert_eq!(net.delivered(), 0);
     }
 }
