@@ -69,6 +69,11 @@ pub struct ClusterConfig {
     /// DM-server lease TTL (DmNet only). `None` (default) disables
     /// lease-based reclamation, matching the pre-lease wire format.
     pub lease_ttl: Option<std::time::Duration>,
+    /// Client-side translation/ref cache and control-op coalescer applied
+    /// to every DmNet endpoint (DESIGN.md §9). Defaults to all-on — the
+    /// DmRPC-net system is measured with its cached client; benches ablate
+    /// it by passing [`dmnet::CacheConfig::default`] (all off).
+    pub dm_client_cache: dmnet::CacheConfig,
 }
 
 impl Default for ClusterConfig {
@@ -81,6 +86,7 @@ impl Default for ClusterConfig {
             threshold: None,
             rpc: RpcConfig::default(),
             lease_ttl: None,
+            dm_client_cache: dmnet::CacheConfig::all_on(),
         }
     }
 }
@@ -221,9 +227,13 @@ impl Cluster {
         let ep = match self.kind {
             SystemKind::Erpc => DmRpc::baseline(rpc),
             SystemKind::DmNet => {
-                let dm = DmNetClient::connect(rpc.clone(), self.dm_pool.clone())
-                    .await
-                    .expect("DM pool registration");
+                let dm = DmNetClient::connect_with(
+                    rpc.clone(),
+                    self.dm_pool.clone(),
+                    self.config.dm_client_cache,
+                )
+                .await
+                .expect("DM pool registration");
                 let handle = DmHandle::Net(Rc::new(dm));
                 match self.config.threshold {
                     Some(t) => DmRpc::with_threshold(rpc, handle, t),

@@ -12,6 +12,7 @@ fn main() {
     bench::fig11::run();
     bench::fig12::run();
     bench::extras::run();
+    bench::rtt_budget::run();
     println!(
         "\nall experiments done in {:.1}s wall time",
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,5 @@
+//! Control-plane RTT budget on the Fig. 5 chain: client cache + control-op
+//! coalescer (DESIGN.md §9) off versus on. See bench::rtt_budget.
+fn main() {
+    bench::rtt_budget::run();
+}

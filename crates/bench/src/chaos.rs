@@ -23,7 +23,7 @@ use apps::chain::build_chain;
 use apps::cluster::{Cluster, ClusterConfig, SystemKind};
 use apps::workload::run_closed_loop;
 use bytes::Bytes;
-use dmnet::{DmNetClient, DmServerConfig};
+use dmnet::{CacheConfig, DmNetClient, DmServerConfig};
 use dmrpc::DmHandle;
 use memsim::ModelParams;
 use rpclib::{RpcBuilder, RpcConfig};
@@ -329,7 +329,9 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
                 .config(chaos_rpc_config())
                 .build();
             clients.push(Rc::new(
-                DmNetClient::connect(rpc, pool.clone())
+                // Caching + batching on: the fault sweep must hold every
+                // invariant with the DESIGN.md §9 client cache in play.
+                DmNetClient::connect_with(rpc, pool.clone(), CacheConfig::all_on())
                     .await
                     .expect("fault-free connect"),
             ));
@@ -461,6 +463,85 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
 
 type Case = Box<dyn Fn() -> CaseResult>;
 
+/// One executed case with its identity: the unit the parallel sweep must
+/// reproduce fingerprint-for-fingerprint against the serial sweep.
+#[derive(Clone, Debug)]
+pub struct CaseRecord {
+    /// Workload label (e.g. `fig5-chain/dmnet`).
+    pub name: &'static str,
+    /// Fault class the case ran under.
+    pub fault: FaultClass,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Whether this is a determinism rerun of the previous record (reruns
+    /// count as cases but not toward completed/error totals).
+    pub rerun: bool,
+    /// The case outcome.
+    pub result: CaseResult,
+}
+
+/// One seed's output: its case records plus any invariant violations.
+type SeedResults = (Vec<CaseRecord>, Vec<String>);
+
+/// Run every (workload × fault class) case for one seed, in the fixed
+/// serial order, plus a determinism double-run of each case on every
+/// `determinism_stride`-th seed (0 disables). This is the unit of work of
+/// both the serial and the parallel sweeps: each case builds its own
+/// thread-local [`Sim`], so seeds are independent by construction.
+fn run_seed(seed: u64, determinism_stride: u64) -> SeedResults {
+    let mut records = Vec::new();
+    let mut violations = Vec::new();
+    for fault in FaultClass::ALL {
+        let cases: [(&'static str, Case); 3] = [
+            (
+                "fig5-chain/erpc",
+                Box::new(move || run_chain_case(SystemKind::Erpc, fault, seed)),
+            ),
+            (
+                "fig5-chain/dmnet",
+                Box::new(move || run_chain_case(SystemKind::DmNet, fault, seed)),
+            ),
+            (
+                "fig7-cow/dmnet",
+                Box::new(move || run_cow_case(fault, seed)),
+            ),
+        ];
+        for (name, case) in cases {
+            let r = case();
+            for v in &r.violations {
+                violations.push(format!("{name} {} seed {seed}: {v}", fault.label()));
+            }
+            let fp = r.fingerprint();
+            records.push(CaseRecord {
+                name,
+                fault,
+                seed,
+                rerun: false,
+                result: r,
+            });
+            if determinism_stride > 0 && seed.is_multiple_of(determinism_stride) {
+                let again = case();
+                if again.fingerprint() != fp {
+                    violations.push(format!(
+                        "{name} {} seed {seed}: nondeterministic ({:?} vs {:?})",
+                        fault.label(),
+                        fp,
+                        again.fingerprint()
+                    ));
+                }
+                records.push(CaseRecord {
+                    name,
+                    fault,
+                    seed,
+                    rerun: true,
+                    result: again,
+                });
+            }
+        }
+    }
+    (records, violations)
+}
+
 /// Result of one seed sweep.
 pub struct SweepOutcome {
     /// Cases executed (workload x fault class x seed, counting reruns).
@@ -471,117 +552,127 @@ pub struct SweepOutcome {
     pub errors: u64,
     /// All invariant violations, labeled with their case.
     pub violations: Vec<String>,
+    /// Every executed case in deterministic (seed-major) order.
+    pub records: Vec<CaseRecord>,
 }
 
-/// Sweep `seeds` across every fault class and both workloads. Every
-/// `determinism_stride`-th seed (0 disables) is run twice and the
-/// fingerprints must match bit for bit.
-pub fn sweep(seeds: std::ops::Range<u64>, determinism_stride: u64) -> SweepOutcome {
+/// Merge per-seed outputs (already in ascending seed order) into one
+/// [`SweepOutcome`]. Shared by the serial and parallel sweeps so their
+/// aggregation is identical by construction.
+fn merge_seeds(per_seed: Vec<SeedResults>) -> SweepOutcome {
     let mut out = SweepOutcome {
         cases: 0,
         completed: 0,
         errors: 0,
         violations: Vec::new(),
+        records: Vec::new(),
     };
-    for seed in seeds {
-        for fault in FaultClass::ALL {
-            let cases: [(&str, Case); 3] = [
-                (
-                    "fig5-chain/erpc",
-                    Box::new(move || run_chain_case(SystemKind::Erpc, fault, seed)),
-                ),
-                (
-                    "fig5-chain/dmnet",
-                    Box::new(move || run_chain_case(SystemKind::DmNet, fault, seed)),
-                ),
-                (
-                    "fig7-cow/dmnet",
-                    Box::new(move || run_cow_case(fault, seed)),
-                ),
-            ];
-            for (name, case) in cases {
-                let r = case();
-                out.cases += 1;
-                out.completed += r.completed;
-                out.errors += r.errors;
-                for v in &r.violations {
-                    out.violations
-                        .push(format!("{name} {} seed {seed}: {v}", fault.label()));
-                }
-                if determinism_stride > 0 && seed % determinism_stride == 0 {
-                    let again = case();
-                    out.cases += 1;
-                    if again.fingerprint() != r.fingerprint() {
-                        out.violations.push(format!(
-                            "{name} {} seed {seed}: nondeterministic ({:?} vs {:?})",
-                            fault.label(),
-                            r.fingerprint(),
-                            again.fingerprint()
-                        ));
-                    }
-                }
+    for (records, violations) in per_seed {
+        for r in &records {
+            out.cases += 1;
+            if !r.rerun {
+                out.completed += r.result.completed;
+                out.errors += r.result.errors;
             }
         }
+        out.records.extend(records);
+        out.violations.extend(violations);
     }
     out
 }
 
-/// Run the full sweep and print the report; exits nonzero on violations
-/// (the CI `chaos` job gates on this).
+/// Sweep `seeds` serially across every fault class and both workloads.
+/// Every `determinism_stride`-th seed (0 disables) runs each case twice
+/// and the fingerprints must match bit for bit.
+pub fn sweep(seeds: std::ops::Range<u64>, determinism_stride: u64) -> SweepOutcome {
+    merge_seeds(
+        seeds
+            .map(|seed| run_seed(seed, determinism_stride))
+            .collect(),
+    )
+}
+
+/// [`sweep`], parallelized across `threads` OS threads. Seeds are assigned
+/// round-robin (seed *i* → thread *i* mod `threads`) and every case builds
+/// its own thread-local [`Sim`], so nothing is shared between workers;
+/// merging in ascending seed order makes the outcome — per-seed
+/// fingerprints included — byte-identical to the serial sweep.
+pub fn sweep_parallel(
+    seeds: std::ops::Range<u64>,
+    determinism_stride: u64,
+    threads: usize,
+) -> SweepOutcome {
+    let all: Vec<u64> = seeds.collect();
+    let threads = threads.clamp(1, all.len().max(1));
+    let mut per_seed: Vec<(u64, SeedResults)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let mine: Vec<u64> = all.iter().copied().skip(t).step_by(threads).collect();
+            handles.push(scope.spawn(move || {
+                mine.into_iter()
+                    .map(|seed| (seed, run_seed(seed, determinism_stride)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chaos worker panicked"))
+            .collect()
+    });
+    per_seed.sort_by_key(|&(seed, _)| seed);
+    merge_seeds(per_seed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Threads used by [`run`]: `CHAOS_THREADS` env override, else the
+/// machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("CHAOS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run the full sweep (parallel across OS threads) and print the report;
+/// exits nonzero on violations (the CI `chaos` job gates on this).
 pub fn run() {
     let seeds: u64 = std::env::var("CHAOS_SEEDS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
+    let threads = default_threads();
+    let out = sweep_parallel(0..seeds, 10, threads);
     let mut t = crate::report::Table::new(
         "xtra_chaos",
         &["fault", "cases", "completed", "errors", "violations"],
     );
-    let mut all_violations = Vec::new();
     for fault in FaultClass::ALL {
         let mut cases = 0u64;
         let mut completed = 0u64;
         let mut errors = 0u64;
         let mut violations = 0usize;
-        for seed in 0..seeds {
-            for r in [
-                run_chain_case(SystemKind::Erpc, fault, seed),
-                run_chain_case(SystemKind::DmNet, fault, seed),
-                run_cow_case(fault, seed),
-            ] {
-                cases += 1;
-                completed += r.completed;
-                errors += r.errors;
-                violations += r.violations.len();
-                for v in r.violations {
-                    all_violations.push(format!("{} seed {seed}: {v}", fault.label()));
-                }
-            }
-            // Determinism spot-check on every 10th seed.
-            if seed % 10 == 0 {
-                let a = run_cow_case(fault, seed);
-                let b = run_cow_case(fault, seed);
-                cases += 2;
-                if a.fingerprint() != b.fingerprint() {
-                    violations += 1;
-                    all_violations.push(format!(
-                        "{} seed {seed}: nondeterministic cow fingerprint",
-                        fault.label()
-                    ));
-                }
+        for r in out.records.iter().filter(|r| r.fault == fault) {
+            cases += 1;
+            if !r.rerun {
+                completed += r.result.completed;
+                errors += r.result.errors;
+                violations += r.result.violations.len();
             }
         }
         t.row(&[&fault.label(), &cases, &completed, &errors, &violations]);
     }
     t.finish();
-    if !all_violations.is_empty() {
-        for v in &all_violations {
+    if !out.violations.is_empty() {
+        for v in &out.violations {
             eprintln!("VIOLATION: {v}");
         }
         std::process::exit(1);
     }
     println!(
-        "  chaos sweep clean: {seeds} seeds x {} fault classes",
+        "  chaos sweep clean: {seeds} seeds x {} fault classes on {threads} threads",
         FaultClass::ALL.len()
     );
 }

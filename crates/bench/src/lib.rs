@@ -16,6 +16,7 @@
 //! | `fig12` | Fig. 12a/b CXL latency sensitivity |
 //! | `extras` | §V-A2 translation overhead, size-threshold and ownership-batching ablations |
 //! | `chaos` | seed-swept fault injection with invariant checks (DESIGN.md §8) |
+//! | `rtt_budget` | control-plane RTTs/op with the §9 client cache + coalescer off vs on |
 
 #![warn(missing_docs)]
 
@@ -29,5 +30,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod report;
+pub mod rtt_budget;
 pub mod sim_throughput;
 pub mod table1;

@@ -1,0 +1,234 @@
+//! `xtra_rtt_budget` — control-plane round trips per app-level operation
+//! on the Fig. 5 chain workload, with the DESIGN.md §9 client cache and
+//! control-op coalescer off versus on.
+//!
+//! Every DmRPC-net operation costs wire messages to the DM pool. The data
+//! plane (`put_ref`, `read_ref`, bulk reads/writes) is the payload's
+//! price; the control plane (`release_ref`, `map_ref`, frees, refcount
+//! traffic) is overhead the paper's address translator and ownership
+//! batching amortize. This experiment counts both planes across every
+//! endpoint of a chain cluster — classified by [`dmnet::proto::is_control`]
+//! and summed over each endpoint's wire counters — and reports the
+//! control-RTT budget per completed request, plus the cache hit/miss and
+//! batching counters behind the reduction.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::chain::build_chain;
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::workload::run_closed_loop;
+use bytes::Bytes;
+use dmnet::CacheConfig;
+use simcore::Sim;
+
+use crate::report::{f2, Table};
+
+/// Argument size (paper Fig. 5: 4 KB array).
+pub const ARG_SIZE: usize = 4096;
+
+/// Wire-message and cache counters for one measured configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RttPoint {
+    /// App-level requests completed (all phases, warmup included — the
+    /// wire counters span the same interval).
+    pub ops: u64,
+    /// Control-plane wire messages across every endpoint's DM client.
+    pub ctrl: u64,
+    /// Data-plane wire messages across every endpoint's DM client.
+    pub data: u64,
+    /// Cache hits (data reads + mapping reuses).
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Entries invalidated (epoch advances + local releases).
+    pub invalidations: u64,
+    /// Control ops that rode a coalesced batch.
+    pub batched_ops: u64,
+    /// Coalesced batch envelopes sent.
+    pub batches: u64,
+    /// Measured throughput, krps.
+    pub tput_krps: f64,
+}
+
+impl RttPoint {
+    /// Control-plane wire messages per completed request.
+    pub fn ctrl_per_op(&self) -> f64 {
+        self.ctrl as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Control-RTT reduction of `cached` versus `base`, in percent.
+pub fn ctrl_reduction_pct(base: &RttPoint, cached: &RttPoint) -> f64 {
+    if base.ctrl_per_op() == 0.0 {
+        return 0.0;
+    }
+    (1.0 - cached.ctrl_per_op() / base.ctrl_per_op()) * 100.0
+}
+
+/// Run the Fig. 5 chain at `length` under `cache` and count every wire
+/// message the cluster's DM clients send from the post-setup snapshot on.
+pub fn run_point(length: usize, cache: CacheConfig) -> RttPoint {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let config = ClusterConfig {
+            dm_client_cache: cache,
+            ..Default::default()
+        };
+        let cluster = Cluster::new(SystemKind::DmNet, 2, config, 42);
+        let app = Rc::new(build_chain(&cluster, length).await);
+        let payload = Bytes::from(vec![7u8; ARG_SIZE]);
+        app.request(&payload).await.expect("warmup");
+
+        // Snapshot after setup + one warm-up request: registration and
+        // warm-up traffic is excluded; everything after is attributed to
+        // the counted ops.
+        let clients: Vec<_> = cluster
+            .endpoints()
+            .iter()
+            .filter_map(|ep| ep.dm().and_then(|d| d.net_client().cloned()))
+            .collect();
+        let totals = |clients: &[Rc<dmnet::DmNetClient>]| {
+            clients.iter().fold((0u64, 0u64), |(c, d), cl| {
+                let (ctrl, data) = cl.wire_messages();
+                (c + ctrl, d + data)
+            })
+        };
+        let (ctrl0, data0) = totals(&clients);
+        let stats0: Vec<(u64, u64, u64, u64, u64)> = clients
+            .iter()
+            .map(|c| {
+                let s = c.cache_stats();
+                (
+                    s.hits(),
+                    s.misses(),
+                    s.invalidations(),
+                    s.batched_ops(),
+                    s.batches(),
+                )
+            })
+            .collect();
+
+        let ops = Rc::new(Cell::new(0u64));
+        let m = {
+            let app = app.clone();
+            let ops = ops.clone();
+            run_closed_loop(
+                8,
+                Duration::from_micros(200),
+                Duration::from_millis(2),
+                Rc::new(move |_w, _i| {
+                    let app = app.clone();
+                    let payload = payload.clone();
+                    let ops = ops.clone();
+                    async move {
+                        app.request(&payload).await?;
+                        ops.set(ops.get() + 1);
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await
+        };
+        // Drain queued control ops so batched-but-unsent work is charged
+        // to the configuration that queued it.
+        for c in &clients {
+            c.flush_cache().await;
+        }
+
+        let (ctrl1, data1) = totals(&clients);
+        let mut point = RttPoint {
+            ops: ops.get(),
+            ctrl: ctrl1 - ctrl0,
+            data: data1 - data0,
+            tput_krps: m.throughput_rps() / 1e3,
+            ..Default::default()
+        };
+        for (c, s0) in clients.iter().zip(&stats0) {
+            let s = c.cache_stats();
+            point.hits += s.hits() - s0.0;
+            point.misses += s.misses() - s0.1;
+            point.invalidations += s.invalidations() - s0.2;
+            point.batched_ops += s.batched_ops() - s0.3;
+            point.batches += s.batches() - s0.4;
+        }
+        point
+    })
+}
+
+/// Run the experiment and emit `results/xtra_rtt_budget.csv`.
+pub fn run() {
+    let mut t = Table::new(
+        "xtra_rtt_budget",
+        &[
+            "chain_len",
+            "config",
+            "ops",
+            "ctrl_msgs",
+            "data_msgs",
+            "ctrl_per_op",
+            "ctrl_reduction_pct",
+            "cache_hits",
+            "cache_misses",
+            "batched_ops",
+            "batches",
+            "throughput_krps",
+        ],
+    );
+    for length in [1usize, 3, 5] {
+        let base = run_point(length, CacheConfig::default());
+        let cached = run_point(length, CacheConfig::all_on());
+        for (label, p, reduction) in [
+            ("uncached", &base, 0.0),
+            (
+                "cached+batched",
+                &cached,
+                ctrl_reduction_pct(&base, &cached),
+            ),
+        ] {
+            t.row(&[
+                &length,
+                &label,
+                &p.ops,
+                &p.ctrl,
+                &p.data,
+                &f2(p.ctrl_per_op()),
+                &f2(reduction),
+                &p.hits,
+                &p.misses,
+                &p.batched_ops,
+                &p.batches,
+                &f2(p.tput_krps),
+            ]);
+        }
+    }
+    t.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_and_batching_cut_control_rtts_by_a_third() {
+        // The ISSUE 3 acceptance bar: >= 30% fewer control-plane round
+        // trips per op on the Fig. 5 chain with caching + batching on.
+        let base = run_point(3, CacheConfig::default());
+        let cached = run_point(3, CacheConfig::all_on());
+        assert!(base.ops > 0 && cached.ops > 0);
+        assert!(base.ctrl > 0, "chain has a control-plane cost to amortize");
+        let reduction = ctrl_reduction_pct(&base, &cached);
+        assert!(
+            reduction >= 30.0,
+            "control-RTT reduction {reduction:.1}% < 30% \
+             (uncached {:.3}/op, cached {:.3}/op)",
+            base.ctrl_per_op(),
+            cached.ctrl_per_op()
+        );
+        assert!(
+            cached.batches > 0 && cached.batched_ops >= cached.batches,
+            "batching never engaged"
+        );
+    }
+}

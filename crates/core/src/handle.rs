@@ -41,6 +41,16 @@ pub enum DmHandle {
 }
 
 impl DmHandle {
+    /// The network backend's client, if this is a DmRPC-net handle.
+    /// Benches read its wire counters and cache statistics; tests use it
+    /// to flush the client cache before asserting server-side state.
+    pub fn net_client(&self) -> Option<&Rc<DmNetClient>> {
+        match self {
+            DmHandle::Net(c) => Some(c),
+            DmHandle::Cxl(_) => None,
+        }
+    }
+
     /// Allocate `len` bytes of DM.
     pub async fn alloc(&self, len: u64) -> DmResult<DmAddr> {
         match self {

@@ -6,6 +6,13 @@
 //! requests are spread round-robin across the pool (paper §VI-A: "its
 //! allocation request would be forwarded to one of the memory servers in a
 //! round-robin manner").
+//!
+//! [`DmNetClient::connect_with`] additionally layers the DESIGN.md §9
+//! translation/ref cache and control-op coalescer over the wire protocol:
+//! repeat `read_ref`/`map_ref` of a live ref are served locally, and small
+//! control ops (`release_ref`, deferred mapping frees) ride a single
+//! [`req::BATCH`] message per flush window. [`DmNetClient::connect`] keeps
+//! both off, preserving the raw one-op-one-RPC behavior.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -16,7 +23,12 @@ use dmcommon::{DmError, DmResult, DmServerId, GlobalPid, Ref, RemoteAddr};
 use rpclib::Rpc;
 use simnet::Addr;
 
-use crate::proto::{parse_response, req, Reader, Writer};
+use crate::cache::{CacheConfig, CacheStats, ClientCache, FreeAction};
+use crate::proto::{self, req, split_response, Reader, Writer};
+
+/// Queued control ops per server before a flush is forced ahead of the
+/// timer (bounds batch size and client-side queue memory).
+const MAX_BATCH_OPS: usize = 64;
 
 /// Handle to the DM pool for one process.
 ///
@@ -32,24 +44,40 @@ pub struct DmNetClient {
     /// leases). When set, a background task renews every lease at TTL/3.
     lease_ttl: Option<Duration>,
     /// Shared liveness flag: cleared on drop or simulated crash, which
-    /// stops the renewal task.
+    /// stops the renewal task and any pending batch flush.
     alive: Rc<Cell<bool>>,
+    cache: Rc<ClientCache>,
 }
 
 impl DmNetClient {
+    /// Register this process with every DM server in the pool, with the
+    /// client cache and coalescer off ([`CacheConfig::default`]).
+    pub async fn connect(rpc: Rc<Rpc>, servers: Vec<Addr>) -> DmResult<DmNetClient> {
+        DmNetClient::connect_with(rpc, servers, CacheConfig::default()).await
+    }
+
     /// Register this process with every DM server in the pool. If the
     /// servers grant leases, a background task renews them until the client
-    /// is dropped or [`DmNetClient::simulate_crash`] is called.
-    pub async fn connect(rpc: Rc<Rpc>, servers: Vec<Addr>) -> DmResult<DmNetClient> {
+    /// is dropped or [`DmNetClient::simulate_crash`] is called. `cache`
+    /// selects the DESIGN.md §9 caching/batching behavior.
+    pub async fn connect_with(
+        rpc: Rc<Rpc>,
+        servers: Vec<Addr>,
+        cache: CacheConfig,
+    ) -> DmResult<DmNetClient> {
         assert!(!servers.is_empty(), "DM pool must have at least one server");
+        let cache = Rc::new(ClientCache::new(servers.len(), cache));
         let mut pids = Vec::with_capacity(servers.len());
         let mut lease_ttl = None;
-        for &s in &servers {
+        for (i, &s) in servers.iter().enumerate() {
+            cache.count_wire(req::REGISTER);
             let resp = rpc
                 .call(s, req::REGISTER, Bytes::new())
                 .await
                 .map_err(|_| DmError::Transport)?;
-            let body = parse_response(&resp)?;
+            let (epoch, body) = split_response(&resp);
+            cache.observe_epoch(i, epoch);
+            let body = body?;
             let mut r = Reader::new(&body);
             pids.push(r.pid()?);
             if let Ok(ns) = r.u64() {
@@ -90,6 +118,7 @@ impl DmNetClient {
             next_rr: Cell::new(0),
             lease_ttl,
             alive,
+            cache,
         })
     }
 
@@ -100,7 +129,8 @@ impl DmNetClient {
 
     /// Chaos hook: fail-stop this client. Lease renewal ceases and the
     /// underlying RPC endpoint goes silent, so the servers reclaim every
-    /// pin of this process once its lease expires.
+    /// pin of this process once its lease expires. Queued control ops are
+    /// lost with the process, like any unsent traffic.
     pub fn simulate_crash(&self) {
         self.alive.set(false);
         self.rpc.set_offline(true);
@@ -109,6 +139,28 @@ impl DmNetClient {
     /// The DM server addresses this client uses.
     pub fn servers(&self) -> &[Addr] {
         &self.servers
+    }
+
+    /// Cache hit/miss/invalidation and batching counters (DESIGN.md §9).
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache configuration this client was connected with.
+    pub fn cache_config(&self) -> &CacheConfig {
+        self.cache.config()
+    }
+
+    /// Wire messages sent for request type `ty` (includes batched
+    /// envelopes under [`req::BATCH`], not their folded sub-ops).
+    pub fn wire_count(&self, ty: u8) -> u64 {
+        self.cache.wire_count(ty)
+    }
+
+    /// Total (control-plane, data-plane) wire messages sent by this
+    /// client, classified by [`proto::is_control`].
+    pub fn wire_messages(&self) -> (u64, u64) {
+        self.cache.wire_totals()
     }
 
     fn server_addr(&self, id: DmServerId) -> DmResult<Addr> {
@@ -122,14 +174,99 @@ impl DmNetClient {
         self.pids[id.0 as usize]
     }
 
+    /// Send one wire request and fold the piggybacked invalidation epoch
+    /// into the cache. Returns the epoch alongside the decoded result so
+    /// fill paths can stamp entries with the epoch their bytes were read
+    /// under.
+    async fn request_ep(&self, server: DmServerId, ty: u8, body: Bytes) -> (u64, DmResult<Bytes>) {
+        let addr = match self.server_addr(server) {
+            Ok(a) => a,
+            Err(e) => return (0, Err(e)),
+        };
+        self.cache.count_wire(ty);
+        let resp = match self.rpc.call(addr, ty, body).await {
+            Ok(r) => r,
+            Err(_) => return (0, Err(DmError::Transport)),
+        };
+        let (epoch, result) = split_response(&resp);
+        if self.cache.observe_epoch(server.0 as usize, epoch) {
+            self.schedule_flush(server);
+        }
+        (epoch, result)
+    }
+
     async fn request(&self, server: DmServerId, ty: u8, body: Bytes) -> DmResult<Bytes> {
-        let addr = self.server_addr(server)?;
-        let resp = self
-            .rpc
-            .call(addr, ty, body)
-            .await
-            .map_err(|_| DmError::Transport)?;
-        parse_response(&resp)
+        self.request_ep(server, ty, body).await.1
+    }
+
+    /// Spawn the bounded-window flush timer for `server`'s queued control
+    /// ops (DESIGN.md §9). Called whenever an enqueue reports no timer is
+    /// pending.
+    fn schedule_flush(&self, server: DmServerId) {
+        let idx = server.0 as usize;
+        let rpc = self.rpc.clone();
+        let cache = self.cache.clone();
+        let alive = self.alive.clone();
+        let addr = self.servers[idx];
+        let pid = self.pids[idx];
+        let window = self.cache.config().flush_window;
+        simcore::spawn(async move {
+            loop {
+                simcore::sleep(window).await;
+                flush_batch(&rpc, &cache, &alive, idx, addr, pid).await;
+                // The flush response's epoch may have turned deferred
+                // mapping releases into queued frees; drain those too.
+                if !alive.get() || !cache.has_pending(idx) {
+                    return;
+                }
+            }
+        });
+    }
+
+    /// Flush `server`'s queued control ops now (ahead of the timer).
+    async fn flush_server(&self, server: DmServerId) {
+        let idx = server.0 as usize;
+        flush_batch(
+            &self.rpc,
+            &self.cache,
+            &self.alive,
+            idx,
+            self.servers[idx],
+            self.pids[idx],
+        )
+        .await;
+        if self.cache.has_pending(idx) {
+            self.schedule_flush(server);
+        }
+    }
+
+    /// Program-order fence: a synchronous request that names a queued
+    /// ref key must not overtake the queued op.
+    async fn flush_if_pending_key(&self, server: DmServerId, key: u64) {
+        if self.cache.pending_names_key(server.0 as usize, key) {
+            self.flush_server(server).await;
+        }
+    }
+
+    /// Program-order fence for requests naming a region with a queued free.
+    async fn flush_if_pending_va(&self, server: DmServerId, va: u64) {
+        if self.cache.pending_names_va(server.0 as usize, va) {
+            self.flush_server(server).await;
+        }
+    }
+
+    /// Flush every queued control op and release every deferred mapping,
+    /// returning the client to a no-hidden-state condition (all its pins
+    /// and pages are visible server-side). Tests and graceful teardown use
+    /// this before asserting server-side invariants.
+    pub async fn flush_cache(&self) {
+        for i in 0..self.servers.len() {
+            let server = DmServerId(i as u8);
+            self.cache.purge_deferred(i);
+            while self.cache.has_pending(i) {
+                self.flush_server(server).await;
+            }
+        }
     }
 
     /// Allocate `len` bytes of disaggregated memory (round-robin across the
@@ -150,7 +287,23 @@ impl DmNetClient {
     }
 
     /// Deallocate a region. Table II: `rfree(remote_addr)`.
+    ///
+    /// Freeing this client's own clean mapping of a ref defers the release
+    /// (the mapping is kept for reuse by the next `map_ref` of the same
+    /// key); the real free is sent when the entry is invalidated or
+    /// [`DmNetClient::flush_cache`] runs.
     pub async fn rfree(&self, addr: RemoteAddr) -> DmResult<()> {
+        let idx = addr.server.0 as usize;
+        self.flush_if_pending_va(addr.server, addr.va).await;
+        if self.cache.config().enabled {
+            match self.cache.on_rfree(idx, addr.va) {
+                FreeAction::Deferred => return Ok(()),
+                // Double free of a deferred mapping: fail locally exactly
+                // as the server would.
+                FreeAction::AlreadyFreed => return Err(DmError::InvalidAddress),
+                FreeAction::PassThrough => {}
+            }
+        }
         let body = Writer::new().pid(addr.pid).u64(addr.va).finish();
         self.request(addr.server, req::FREE, body).await?;
         Ok(())
@@ -158,6 +311,12 @@ impl DmNetClient {
 
     /// Write `data` to DM at `addr`. Table II: `rwrite`.
     pub async fn rwrite(&self, addr: RemoteAddr, data: &Bytes) -> DmResult<()> {
+        self.flush_if_pending_va(addr.server, addr.va).await;
+        if self.cache.config().enabled {
+            // A written-through mapping may COW-diverge from its ref; it
+            // must never be handed back by a cached `map_ref`.
+            self.cache.mark_dirty(addr.server.0 as usize, addr.va);
+        }
         let body = Writer::new()
             .pid(addr.pid)
             .u64(addr.va)
@@ -169,6 +328,7 @@ impl DmNetClient {
 
     /// Read `len` bytes of DM from `addr`. Table II: `rread`.
     pub async fn rread(&self, addr: RemoteAddr, len: u64) -> DmResult<Bytes> {
+        self.flush_if_pending_va(addr.server, addr.va).await;
         let body = Writer::new().pid(addr.pid).u64(addr.va).u64(len).finish();
         self.request(addr.server, req::READ, body).await
     }
@@ -176,6 +336,7 @@ impl DmNetClient {
     /// Create a shared reference to `[addr, addr+len)`. Table II:
     /// `create_ref(remote_addr, size)`.
     pub async fn create_ref(&self, addr: RemoteAddr, len: u64) -> DmResult<Ref> {
+        self.flush_if_pending_va(addr.server, addr.va).await;
         let body = Writer::new().pid(addr.pid).u64(addr.va).u64(len).finish();
         let resp = self.request(addr.server, req::CREATE_REF, body).await?;
         let mut r = Reader::new(&resp);
@@ -187,17 +348,34 @@ impl DmNetClient {
     }
 
     /// Map a reference into this process's DM address space. Table II:
-    /// `map_ref(ref)`.
+    /// `map_ref(ref)`. A back-to-back re-map of a ref this client already
+    /// mapped (and cleanly freed) is served from the cache without a round
+    /// trip.
     pub async fn map_ref(&self, r: &Ref) -> DmResult<RemoteAddr> {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        let idx = server.0 as usize;
         let pid = self.pid_at(*server);
+        self.flush_if_pending_key(*server, *key).await;
+        if self.cache.config().enabled {
+            if let Some((va, _len)) = self.cache.take_mapping(idx, *key) {
+                return Ok(RemoteAddr {
+                    server: *server,
+                    pid,
+                    va,
+                });
+            }
+        }
         let body = Writer::new().pid(pid).u64(*key).finish();
-        let resp = self.request(*server, req::MAP_REF, body).await?;
+        let (epoch, res) = self.request_ep(*server, req::MAP_REF, body).await;
+        let resp = res?;
         let mut rd = Reader::new(&resp);
         let va = rd.u64()?;
-        let _len = rd.u64()?;
+        let len = rd.u64()?;
+        if self.cache.config().enabled {
+            self.cache.note_mapping(idx, *key, va, len, epoch);
+        }
         Ok(RemoteAddr {
             server: *server,
             pid,
@@ -208,18 +386,26 @@ impl DmNetClient {
     /// Fast path: write `data` into a freshly-allocated region and create a
     /// shared reference in one round trip (DESIGN.md §6 optimization).
     pub async fn write_create_ref(&self, addr: RemoteAddr, data: &Bytes) -> DmResult<Ref> {
+        self.flush_if_pending_va(addr.server, addr.va).await;
         let body = Writer::new()
             .pid(addr.pid)
             .u64(addr.va)
             .bytes(data)
             .finish();
-        let resp = self
-            .request(addr.server, req::WRITE_CREATE_REF, body)
-            .await?;
+        let (epoch, res) = self
+            .request_ep(addr.server, req::WRITE_CREATE_REF, body)
+            .await;
+        let resp = res?;
         let mut r = Reader::new(&resp);
+        let key = r.u64()?;
+        if self.cache.config().enabled {
+            // The publisher knows the ref's (immutable) bytes; cache them.
+            self.cache
+                .fill_data(addr.server.0 as usize, key, epoch, data.clone());
+        }
         Ok(Ref::Net {
             server: addr.server,
-            key: r.u64()?,
+            key,
             len: data.len() as u64,
         })
     }
@@ -230,40 +416,122 @@ impl DmNetClient {
         let idx = self.next_rr.get() % self.servers.len();
         self.next_rr.set(idx + 1);
         let server = DmServerId(idx as u8);
-        let resp = self.request(server, req::PUT_REF, data.clone()).await?;
+        let (epoch, res) = self.request_ep(server, req::PUT_REF, data.clone()).await;
+        let resp = res?;
         let mut r = Reader::new(&resp);
+        let key = r.u64()?;
+        if self.cache.config().enabled {
+            // Write-allocate: the publisher knows the ref's bytes.
+            self.cache.fill_data(idx, key, epoch, data.clone());
+        }
         Ok(Ref::Net {
             server,
-            key: r.u64()?,
+            key,
             len: data.len() as u64,
         })
     }
 
     /// Fast path: read `len` bytes at `off` of a reference without mapping.
+    /// Served from the client cache when a fresh entry covers the range.
     pub async fn read_ref(&self, r: &Ref, off: u64, len: u64) -> DmResult<Bytes> {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        let idx = server.0 as usize;
+        self.flush_if_pending_key(*server, *key).await;
+        if self.cache.config().enabled {
+            if let Some(bytes) = self.cache.lookup_data(idx, *key, off, len) {
+                return Ok(bytes);
+            }
+        }
         let body = Writer::new().u64(*key).u64(off).u64(len).finish();
-        self.request(*server, req::READ_REF, body).await
+        let (epoch, res) = self.request_ep(*server, req::READ_REF, body).await;
+        if self.cache.config().enabled && off == 0 {
+            if let Ok(bytes) = &res {
+                self.cache.fill_data(idx, *key, epoch, bytes.clone());
+            }
+        }
+        res
     }
 
-    /// Release a reference (API extension; see DESIGN.md §6).
+    /// Release a reference (API extension; see DESIGN.md §6). With
+    /// batching on, the release is queued and folded into the next
+    /// coalesced [`req::BATCH`] message (bounded by the flush window); the
+    /// local cache entries for the key are dropped immediately.
     pub async fn release_ref(&self, r: &Ref) -> DmResult<()> {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        let idx = server.0 as usize;
+        if self.cache.config().enabled && self.cache.invalidate_key(idx, *key) {
+            self.schedule_flush(*server);
+        }
         let body = Writer::new().u64(*key).finish();
+        if self.cache.config().batching {
+            if self.cache.pending_len(idx) >= MAX_BATCH_OPS {
+                self.flush_server(*server).await;
+            }
+            if self
+                .cache
+                .enqueue(idx, req::RELEASE_REF, body, Some(*key), None)
+            {
+                self.schedule_flush(*server);
+            }
+            // Fire-and-forget, like `DmRpc::release_async`: a failed
+            // release of an already-dead ref is reported per-slot in the
+            // batch response and dropped.
+            return Ok(());
+        }
+        self.flush_if_pending_key(*server, *key).await;
         self.request(*server, req::RELEASE_REF, body).await?;
         Ok(())
     }
+}
+
+/// Drain and send one coalesced [`req::BATCH`] for server `idx`. Deferred
+/// mapping frees are queued by the cache as bare-va markers (the cache
+/// layer does not know pids); they are framed into real `FREE` bodies
+/// here. Sub-op failures are reported per-slot by the server and dropped,
+/// matching the fire-and-forget contract of the batched ops.
+async fn flush_batch(
+    rpc: &Rc<Rpc>,
+    cache: &Rc<ClientCache>,
+    alive: &Rc<Cell<bool>>,
+    idx: usize,
+    addr: Addr,
+    pid: GlobalPid,
+) {
+    let ops = cache.drain(idx);
+    if ops.is_empty() || !alive.get() {
+        return;
+    }
+    let ops: Vec<(u8, Bytes)> = ops
+        .into_iter()
+        .map(|(ty, body)| {
+            if ty == req::FREE {
+                let va = crate::cache::read_free_marker(&body);
+                (ty, Writer::new().pid(pid).u64(va).finish())
+            } else {
+                (ty, body)
+            }
+        })
+        .collect();
+    cache.count_wire(req::BATCH);
+    cache.note_batch(ops.len());
+    let body = proto::encode_batch(&ops);
+    let Ok(resp) = rpc.call(addr, req::BATCH, body).await else {
+        return;
+    };
+    let (epoch, _results) = split_response(&resp);
+    cache.observe_epoch(idx, epoch);
 }
 
 impl Drop for DmNetClient {
     fn drop(&mut self) {
         // Stop the lease-renewal task; the servers will reclaim this
         // process's pins after the TTL (a graceful client frees them
-        // explicitly before dropping).
+        // explicitly before dropping). Queued control ops die with the
+        // client for the same reason.
         self.alive.set(false);
     }
 }

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod page_manager;
 pub mod proto;
@@ -31,6 +32,7 @@ pub mod translator;
 /// Re-export of the shared VA-range allocator (lives in [`dmcommon`]).
 pub use dmcommon::va_tree;
 
+pub use cache::{CacheConfig, CacheStats};
 pub use client::DmNetClient;
 pub use page_manager::{OpCost, PageManager};
 pub use server::{start_pool, DmServer, DmServerConfig};
@@ -544,6 +546,151 @@ mod e2e_tests {
             }
             let frac = servers[0].translation_fraction();
             assert!(frac > 0.0 && frac < 0.25, "translation fraction {frac}");
+        });
+    }
+
+    #[test]
+    fn map_ref_memoizes_repeat_maps() {
+        // Regression: back-to-back map_ref of the same ref used to issue a
+        // duplicate round trip. With the cache on, the second map (after a
+        // clean rfree) is served locally: exactly one MAP_REF wire message
+        // and zero FREE wire messages until the cache is flushed.
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let dm = DmNetClient::connect_with(
+                client_rpc(&net, c0, 100),
+                vec![servers[0].addr()],
+                CacheConfig::all_on(),
+            )
+            .await
+            .unwrap();
+
+            let addr = dm.ralloc(8192).await.unwrap();
+            dm.rwrite(addr, &Bytes::from(vec![0x42; 8192]))
+                .await
+                .unwrap();
+            let r = dm.create_ref(addr, 8192).await.unwrap();
+            dm.rfree(addr).await.unwrap();
+
+            let m1 = dm.map_ref(&r).await.unwrap();
+            assert_eq!(&dm.rread(m1, 8).await.unwrap()[..], &[0x42; 8]);
+            dm.rfree(m1).await.unwrap(); // clean: release deferred
+            let m2 = dm.map_ref(&r).await.unwrap();
+            assert_eq!(m2.va, m1.va, "same mapping handed back");
+            assert_eq!(&dm.rread(m2, 8).await.unwrap()[..], &[0x42; 8]);
+
+            assert_eq!(dm.wire_count(proto::req::MAP_REF), 1, "duplicate map RTT");
+            // Exactly one wire FREE so far: the raw region free above. The
+            // mapping free was deferred, not sent.
+            assert_eq!(dm.wire_count(proto::req::FREE), 1, "deferred free leaked");
+            assert!(dm.cache_stats().hits() >= 1);
+
+            // Double free of the deferred mapping fails locally, like the
+            // server would fail it.
+            dm.rfree(m2).await.unwrap();
+            assert_eq!(dm.rfree(m2).await.unwrap_err(), DmError::InvalidAddress);
+
+            // Flushing surfaces the hidden state; everything reclaims.
+            dm.release_ref(&r).await.unwrap();
+            dm.flush_cache().await;
+            servers[0].with_page_manager(|pm| {
+                pm.check_invariants();
+                assert_eq!(pm.free_pages(), pm.capacity_pages(), "pages leaked");
+            });
+        });
+    }
+
+    #[test]
+    fn cached_read_ref_hits_and_epoch_invalidates() {
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let pool = vec![servers[0].addr()];
+            let owner = DmNetClient::connect(client_rpc(&net, c0, 100), pool.clone())
+                .await
+                .unwrap();
+            let reader = DmNetClient::connect_with(
+                client_rpc(&net, c1, 100),
+                pool,
+                CacheConfig {
+                    enabled: true,
+                    batching: false,
+                    ..CacheConfig::default()
+                },
+            )
+            .await
+            .unwrap();
+
+            let data = Bytes::from((0..8192u32).map(|i| (i % 241) as u8).collect::<Vec<_>>());
+            let r = owner.put_ref(&data).await.unwrap();
+
+            // First read fills; repeats (including sub-range reads) hit.
+            assert_eq!(reader.read_ref(&r, 0, 8192).await.unwrap(), data);
+            let wire_reads = reader.wire_count(proto::req::READ_REF);
+            assert_eq!(reader.read_ref(&r, 0, 8192).await.unwrap(), data);
+            assert_eq!(
+                &reader.read_ref(&r, 100, 8).await.unwrap()[..],
+                &data[100..108]
+            );
+            assert_eq!(reader.wire_count(proto::req::READ_REF), wire_reads);
+            assert!(reader.cache_stats().hits() >= 2);
+
+            // The owner releases the ref: the server's invalidation epoch
+            // advances. The reader observes it on its next wire op, after
+            // which the stale entry is gone and the read fails exactly as
+            // an uncached read would.
+            owner.release_ref(&r).await.unwrap();
+            let scratch = reader.ralloc(4096).await.unwrap(); // observes epoch
+            assert!(reader.cache_stats().invalidations() >= 1);
+            assert_eq!(
+                reader.read_ref(&r, 0, 8192).await.unwrap_err(),
+                DmError::InvalidRef
+            );
+            reader.rfree(scratch).await.unwrap();
+            reader.flush_cache().await;
+            servers[0].with_page_manager(|pm| {
+                pm.check_invariants();
+                assert_eq!(pm.free_pages(), pm.capacity_pages(), "pages leaked");
+            });
+        });
+    }
+
+    #[test]
+    fn batched_releases_coalesce_into_one_wire_message() {
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &[dm0], &params, DmServerConfig::default());
+            let dm = DmNetClient::connect_with(
+                client_rpc(&net, c0, 100),
+                vec![servers[0].addr()],
+                CacheConfig::all_on(),
+            )
+            .await
+            .unwrap();
+
+            let mut refs = Vec::new();
+            for i in 0..8u8 {
+                refs.push(dm.put_ref(&Bytes::from(vec![i; 4096])).await.unwrap());
+            }
+            for r in &refs {
+                dm.release_ref(r).await.unwrap(); // queued, not sent
+            }
+            assert_eq!(dm.wire_count(proto::req::RELEASE_REF), 0);
+            // The flush window elapses; all eight releases ride one BATCH.
+            simcore::sleep(std::time::Duration::from_millis(1)).await;
+            assert_eq!(dm.wire_count(proto::req::BATCH), 1);
+            assert_eq!(dm.cache_stats().batched_ops(), 8);
+            servers[0].with_page_manager(|pm| {
+                pm.check_invariants();
+                assert_eq!(pm.free_pages(), pm.capacity_pages(), "releases not applied");
+            });
         });
     }
 }

@@ -1,7 +1,12 @@
 //! DM wire protocol: request/response encoding over [`rpclib`].
 //!
 //! Each DM operation is one RPC to the owning DM server. Responses carry a
-//! leading status byte (0 = ok, otherwise a [`DmError`] code).
+//! leading status byte (0 = ok, otherwise a [`DmError`] code) followed by
+//! the server's current *invalidation epoch* (u64 LE). The epoch advances
+//! whenever a ref is released (explicitly or by lease reclamation), so a
+//! client comparing the piggybacked epoch against the one its cache entries
+//! were filled under can tell whether any ref it cached may have died since
+//! (DESIGN.md §9).
 
 use bytes::{Bytes, BytesMut};
 use dmcommon::{DmError, DmResult, GlobalPid};
@@ -37,53 +42,112 @@ pub mod req {
     /// leases; body = pid). A process whose lease expires has all its pins
     /// reclaimed — see DESIGN.md §8.
     pub const RENEW_LEASE: u8 = 21;
+    /// Batched control ops: `u32` count, then `count` framed sub-requests
+    /// (`u8` req type, `u32` body length, body). The response body frames
+    /// one full response per sub-request in order. Nested batches are
+    /// rejected.
+    pub const BATCH: u8 = 22;
 }
 
 /// Well-known port DM servers listen on.
 pub const DM_PORT: u16 = 7000;
 
+/// Whether a request type is control-plane (metadata: registration,
+/// pin/unpin, release, lease renewal) as opposed to data-plane (carrying
+/// payload bytes). The `xtra_rtt_budget` experiment counts the two classes
+/// separately.
+pub fn is_control(ty: u8) -> bool {
+    !matches!(
+        ty,
+        req::READ | req::WRITE | req::READ_REF | req::PUT_REF | req::WRITE_CREATE_REF
+    )
+}
+
+/// The single source of truth for the `DmError` ↔ wire-code mapping.
+/// Encode and decode both walk this table, so they cannot disagree and
+/// every code (including 5 = `Malformed`) has an explicit entry.
+const ERR_TABLE: &[(DmError, u8)] = &[
+    (DmError::OutOfMemory, 1),
+    (DmError::InvalidAddress, 2),
+    (DmError::InvalidRef, 3),
+    (DmError::OutOfBounds, 4),
+    (DmError::Malformed, 5),
+    (DmError::Transport, 6),
+];
+
 fn err_code(e: DmError) -> u8 {
-    match e {
-        DmError::OutOfMemory => 1,
-        DmError::InvalidAddress => 2,
-        DmError::InvalidRef => 3,
-        DmError::OutOfBounds => 4,
-        DmError::Malformed => 5,
-        DmError::Transport => 6,
-    }
+    ERR_TABLE
+        .iter()
+        .find(|&&(err, _)| err == e)
+        .map(|&(_, c)| c)
+        .expect("every DmError variant is in ERR_TABLE")
 }
 
 fn code_err(c: u8) -> DmError {
-    match c {
-        1 => DmError::OutOfMemory,
-        2 => DmError::InvalidAddress,
-        3 => DmError::InvalidRef,
-        4 => DmError::OutOfBounds,
-        6 => DmError::Transport,
-        _ => DmError::Malformed,
-    }
+    ERR_TABLE
+        .iter()
+        .find(|&&(_, code)| code == c)
+        .map(|&(e, _)| e)
+        .unwrap_or(DmError::Malformed)
 }
 
-/// Encode a successful response with `body`.
-pub fn ok_response(body: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(1 + body.len());
+/// Encode a successful response with `body`, carrying the server's current
+/// invalidation `epoch`.
+pub fn ok_response(epoch: u64, body: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(9 + body.len());
     b.extend_from_slice(&[0u8]);
+    b.extend_from_slice(&epoch.to_le_bytes());
     b.extend_from_slice(body);
     b.freeze()
 }
 
-/// Encode an error response.
-pub fn err_response(e: DmError) -> Bytes {
-    Bytes::from(vec![err_code(e)])
+/// Encode an error response, carrying the server's current `epoch`.
+pub fn err_response(epoch: u64, e: DmError) -> Bytes {
+    let mut b = BytesMut::with_capacity(9);
+    b.extend_from_slice(&[err_code(e)]);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.freeze()
 }
 
-/// Split a response into its body or error.
-pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
-    match resp.first() {
-        Some(0) => Ok(resp.slice(1..)),
-        Some(&c) => Err(code_err(c)),
-        None => Err(DmError::Malformed),
+/// Split a response into its piggybacked epoch plus body-or-error. A
+/// response too short to carry an epoch decodes as `(0, Err(Malformed))`.
+pub fn split_response(resp: &Bytes) -> (u64, DmResult<Bytes>) {
+    if resp.len() < 9 {
+        return (0, Err(DmError::Malformed));
     }
+    let epoch = u64::from_le_bytes(resp[1..9].try_into().expect("len checked"));
+    match resp[0] {
+        0 => (epoch, Ok(resp.slice(9..))),
+        c => (epoch, Err(code_err(c))),
+    }
+}
+
+/// Split a response into its body or error, discarding the epoch.
+pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
+    split_response(resp).1
+}
+
+/// Frame `items` (req type, body) as a [`req::BATCH`] request body
+/// (rpclib's tagged multi-op framing).
+pub fn encode_batch(items: &[(u8, Bytes)]) -> Bytes {
+    rpclib::multiframe::encode_tagged(items)
+}
+
+/// Decode a [`req::BATCH`] request body into (req type, body) items.
+/// Zero-copy: the returned bodies share the input buffer's storage.
+pub fn decode_batch(body: &Bytes) -> DmResult<Vec<(u8, Bytes)>> {
+    rpclib::multiframe::decode_tagged(body).ok_or(DmError::Malformed)
+}
+
+/// Frame per-sub-request responses as a batch response body (rpclib's
+/// untagged multi-op framing; order mirrors the request).
+pub fn encode_batch_responses(resps: &[Bytes]) -> Bytes {
+    rpclib::multiframe::encode_plain(resps)
+}
+
+/// Decode a batch response body into the framed per-sub-request responses.
+pub fn decode_batch_responses(body: &Bytes) -> DmResult<Vec<Bytes>> {
+    rpclib::multiframe::decode_plain(body).ok_or(DmError::Malformed)
 }
 
 /// Cursor-style reader for request/response bodies.
@@ -118,6 +182,11 @@ impl<'a> Reader<'a> {
     /// Remaining bytes.
     pub fn rest(self) -> &'a [u8] {
         &self.buf[self.pos..]
+    }
+
+    /// Whether the cursor has consumed the whole buffer.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
     }
 
     fn take(&mut self, n: usize) -> DmResult<&'a [u8]> {
@@ -177,27 +246,92 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let ok = ok_response(b"abc");
+        let ok = ok_response(42, b"abc");
         assert_eq!(&parse_response(&ok).unwrap()[..], b"abc");
-        let err = err_response(DmError::OutOfMemory);
+        let (epoch, body) = split_response(&ok);
+        assert_eq!(epoch, 42);
+        assert_eq!(&body.unwrap()[..], b"abc");
+        let err = err_response(7, DmError::OutOfMemory);
         assert_eq!(parse_response(&err).unwrap_err(), DmError::OutOfMemory);
+        assert_eq!(split_response(&err).0, 7);
         assert_eq!(
             parse_response(&Bytes::new()).unwrap_err(),
             DmError::Malformed
+        );
+        // Too short to carry an epoch: malformed, epoch reads as 0.
+        assert_eq!(
+            split_response(&Bytes::from_static(&[0, 1, 2])),
+            (0, Err(DmError::Malformed))
         );
     }
 
     #[test]
     fn all_error_codes_roundtrip() {
-        for e in [
-            DmError::OutOfMemory,
-            DmError::InvalidAddress,
-            DmError::InvalidRef,
-            DmError::OutOfBounds,
-            DmError::Malformed,
-            DmError::Transport,
+        // Every variant must survive encode → decode through the shared
+        // table, including Malformed (code 5).
+        for &(e, code) in ERR_TABLE {
+            assert_eq!(err_code(e), code);
+            assert_eq!(code_err(code), e);
+            assert_eq!(parse_response(&err_response(0, e)).unwrap_err(), e);
+        }
+        // Unknown codes (and 0 in error position) decode as Malformed.
+        assert_eq!(code_err(0), DmError::Malformed);
+        assert_eq!(code_err(99), DmError::Malformed);
+    }
+
+    #[test]
+    fn batch_framing_roundtrip() {
+        let items = vec![
+            (req::RELEASE_REF, Writer::new().u64(11).finish()),
+            (req::FREE, Writer::new().pid(GlobalPid(3)).u64(22).finish()),
+            (req::RELEASE_REF, Bytes::new()),
+        ];
+        let decoded = decode_batch(&encode_batch(&items)).unwrap();
+        assert_eq!(decoded, items);
+
+        let resps = vec![ok_response(1, b""), err_response(2, DmError::InvalidRef)];
+        let back = decode_batch_responses(&encode_batch_responses(&resps)).unwrap();
+        assert_eq!(back, resps);
+    }
+
+    #[test]
+    fn batch_decode_rejects_garbage() {
+        assert!(decode_batch(&Bytes::from_static(&[1, 2])).is_err());
+        // Count claims more items than the body could possibly hold.
+        let huge = Writer::new().u32(u32::MAX).finish();
+        assert_eq!(decode_batch(&huge).unwrap_err(), DmError::Malformed);
+        // Truncated item body.
+        let trunc = Writer::new()
+            .u32(1)
+            .bytes(&[req::FREE])
+            .u32(100)
+            .bytes(b"short")
+            .finish();
+        assert_eq!(decode_batch(&trunc).unwrap_err(), DmError::Malformed);
+    }
+
+    #[test]
+    fn control_plane_classification() {
+        for ty in [
+            req::REGISTER,
+            req::ALLOC,
+            req::FREE,
+            req::CREATE_REF,
+            req::MAP_REF,
+            req::RELEASE_REF,
+            req::RENEW_LEASE,
+            req::BATCH,
         ] {
-            assert_eq!(parse_response(&err_response(e)).unwrap_err(), e);
+            assert!(is_control(ty), "type {ty} is control-plane");
+        }
+        for ty in [
+            req::READ,
+            req::WRITE,
+            req::READ_REF,
+            req::PUT_REF,
+            req::WRITE_CREATE_REF,
+        ] {
+            assert!(!is_control(ty), "type {ty} is data-plane");
         }
     }
 

@@ -111,6 +111,12 @@ pub struct DmServer {
     leases: RefCell<std::collections::HashMap<u32, simcore::SimTime>>,
     /// PIDs reclaimed by lease expiry (observability for chaos reports).
     leases_reclaimed: Cell<u64>,
+    /// Invalidation epoch, piggybacked on every response (DESIGN.md §9).
+    /// Advances whenever refs may have died: an explicit `RELEASE_REF` or a
+    /// lease reclamation. Client caches fill at the epoch a response
+    /// reports and self-invalidate when a later response reports a newer
+    /// one.
+    epoch: Cell<u64>,
     /// Set by [`DmServer::shutdown`]; stops the lease sweeper.
     stopping: Cell<bool>,
     translation_ns: Cell<u64>,
@@ -166,6 +172,7 @@ impl DmServer {
             owners: RefCell::new(std::collections::HashMap::new()),
             leases: RefCell::new(std::collections::HashMap::new()),
             leases_reclaimed: Cell::new(0),
+            epoch: Cell::new(0),
             stopping: Cell::new(false),
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
@@ -212,7 +219,14 @@ impl DmServer {
             self.leases.borrow_mut().remove(&pid);
             self.owners.borrow_mut().remove(&pid);
             self.leases_reclaimed.set(self.leases_reclaimed.get() + 1);
+            // Reclamation drops refs: caches filled before it are suspect.
+            self.epoch.set(self.epoch.get() + 1);
         }
+    }
+
+    /// Current invalidation epoch (observability for tests).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
     }
 
     /// Crash the server: it stops receiving and sending until
@@ -379,6 +393,11 @@ impl DmServer {
             .set(self.op_ns.get() + cpu_time.as_nanos() as u64);
     }
 
+    /// Wrap `body` in a success response carrying the current epoch.
+    fn ok(&self, body: &[u8]) -> Bytes {
+        ok_response(self.epoch.get(), body)
+    }
+
     fn register_handlers(self: &Rc<Self>) {
         let types: &[u8] = &[
             req::REGISTER,
@@ -393,6 +412,7 @@ impl DmServer {
             req::READ_REF,
             req::PUT_REF,
             req::RENEW_LEASE,
+            req::BATCH,
         ];
         for &ty in types {
             let srv = self.clone();
@@ -406,7 +426,7 @@ impl DmServer {
     async fn handle(self: Rc<Self>, ty: u8, src: simnet::Addr, body: Bytes) -> Bytes {
         match self.dispatch(ty, src, &body).await {
             Ok(resp) => resp,
-            Err(e) => err_response(e),
+            Err(e) => err_response(self.epoch.get(), e),
         }
     }
 
@@ -433,11 +453,9 @@ impl DmServer {
                 // byte-identical to the pre-lease wire format.
                 if let Some(ttl) = self.config.lease_ttl {
                     self.leases.borrow_mut().insert(pid.0, simcore::now() + ttl);
-                    return Ok(ok_response(
-                        &Writer::new().pid(pid).u64(ttl.as_nanos() as u64).finish(),
-                    ));
+                    return Ok(self.ok(&Writer::new().pid(pid).u64(ttl.as_nanos() as u64).finish()));
                 }
-                Ok(ok_response(&Writer::new().pid(pid).finish()))
+                Ok(self.ok(&Writer::new().pid(pid).finish()))
             }
             req::RENEW_LEASE => {
                 let mut r = Reader::new(body);
@@ -451,7 +469,7 @@ impl DmServer {
                     None => return Err(DmError::InvalidAddress),
                 }
                 self.charge(0, OpCost::default(), 0).await;
-                Ok(ok_response(&[]))
+                Ok(self.ok(&[]))
             }
             req::ALLOC => {
                 let mut r = Reader::new(body);
@@ -461,9 +479,7 @@ impl DmServer {
                 let shard = self.pick_alloc_shard();
                 let va = self.shards[shard].pm.borrow_mut().ralloc(pid, len)?;
                 self.charge(shard, OpCost::default(), 0).await;
-                Ok(ok_response(
-                    &Writer::new().u64(self.tag(shard, va)).finish(),
-                ))
+                Ok(self.ok(&Writer::new().u64(self.tag(shard, va)).finish()))
             }
             req::FREE => {
                 let mut r = Reader::new(body);
@@ -472,7 +488,7 @@ impl DmServer {
                 let (shard, va) = self.route(r.u64()?)?;
                 let cost = self.shards[shard].pm.borrow_mut().rfree(pid, va)?;
                 self.charge(shard, cost, cost.refcount_updates).await;
-                Ok(ok_response(&[]))
+                Ok(self.ok(&[]))
             }
             req::CREATE_REF => {
                 let mut r = Reader::new(body);
@@ -486,9 +502,7 @@ impl DmServer {
                     .create_ref(pid, va, len)?;
                 let pages = len.div_ceil(PAGE_SIZE as u64);
                 self.charge(shard, cost, pages).await;
-                Ok(ok_response(
-                    &Writer::new().u64(self.tag(shard, key)).finish(),
-                ))
+                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
             }
             req::MAP_REF => {
                 let mut r = Reader::new(body);
@@ -497,9 +511,7 @@ impl DmServer {
                 let (shard, key) = self.route(r.u64()?)?;
                 let (va, len, cost) = self.shards[shard].pm.borrow_mut().map_ref(pid, key)?;
                 self.charge(shard, cost, cost.refcount_updates).await;
-                Ok(ok_response(
-                    &Writer::new().u64(self.tag(shard, va)).u64(len).finish(),
-                ))
+                Ok(self.ok(&Writer::new().u64(self.tag(shard, va)).u64(len).finish()))
             }
             req::READ => {
                 let mut r = Reader::new(body);
@@ -513,7 +525,7 @@ impl DmServer {
                 // Reading pinned pages into the response path occupies DRAM.
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(ok_response(&data))
+                Ok(self.ok(&data))
             }
             req::WRITE => {
                 let mut r = Reader::new(body);
@@ -527,14 +539,18 @@ impl DmServer {
                 // Storing into pinned pages occupies DRAM.
                 self.mem.touch(data.len() as u64).await;
                 self.note_data_time(data.len() as u64);
-                Ok(ok_response(&[]))
+                Ok(self.ok(&[]))
             }
             req::RELEASE_REF => {
                 let mut r = Reader::new(body);
                 let (shard, key) = self.route(r.u64()?)?;
                 let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
+                // The ref is gone: advance the invalidation epoch so client
+                // caches filled before this point stop serving it. The
+                // releaser's own response already carries the new epoch.
+                self.epoch.set(self.epoch.get() + 1);
                 self.charge(shard, cost, cost.refcount_updates).await;
-                Ok(ok_response(&[]))
+                Ok(self.ok(&[]))
             }
             req::WRITE_CREATE_REF => {
                 // Fast path: write the data and create the ref in one RTT.
@@ -556,9 +572,7 @@ impl DmServer {
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(ok_response(
-                    &Writer::new().u64(self.tag(shard, key)).finish(),
-                ))
+                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
             }
             req::PUT_REF => {
                 let data = &body[..];
@@ -583,9 +597,7 @@ impl DmServer {
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(ok_response(
-                    &Writer::new().u64(self.tag(shard, key)).finish(),
-                ))
+                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
             }
             req::READ_REF => {
                 let mut r = Reader::new(body);
@@ -597,7 +609,28 @@ impl DmServer {
                 self.charge(shard, OpCost::default(), translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(ok_response(&data))
+                Ok(self.ok(&data))
+            }
+            req::BATCH => {
+                // Coalesced control ops (DESIGN.md §9): one wire message,
+                // one framed response per sub-op. Each sub-op still pays
+                // its own page-manager CPU; what the batch saves is the
+                // per-message RPC and network overhead. A failing sub-op
+                // does not abort the rest — its framed slot carries the
+                // error.
+                let items = proto::decode_batch(body)?;
+                let mut resps = Vec::with_capacity(items.len());
+                for (sub_ty, sub_body) in items {
+                    if sub_ty == req::BATCH {
+                        return Err(DmError::Malformed); // no nesting
+                    }
+                    let resp = match Box::pin(self.dispatch(sub_ty, src, &sub_body)).await {
+                        Ok(r) => r,
+                        Err(e) => err_response(self.epoch.get(), e),
+                    };
+                    resps.push(resp);
+                }
+                Ok(self.ok(&proto::encode_batch_responses(&resps)))
             }
             _ => Err(DmError::Malformed),
         }

@@ -1,0 +1,187 @@
+//! Cache-coherence oracle (ISSUE 3 satellite).
+//!
+//! Runs random interleavings of `put_ref` / `read_ref` / COW writes /
+//! `rfree` / `release_ref` against two clients in one simulation: one with
+//! the DESIGN.md §9 cache + coalescer all-on, one raw. Each client talks
+//! to its own (identical) DM server, so their server-side states evolve
+//! independently from the same operation sequence. After every operation
+//! the two clients must return identical bytes (and agree with a plain
+//! `Vec<u8>` model); after a final [`DmNetClient::flush_cache`] both
+//! servers must reach the same fully-reclaimed state.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dmcommon::Ref;
+use dmnet::{start_pool, CacheConfig, DmNetClient, DmServerConfig};
+use memsim::ModelParams;
+use proptest::prelude::*;
+use rpclib::{Rpc, RpcBuilder};
+use simcore::Sim;
+use simnet::{FabricConfig, Network, NicConfig, NodeId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Publish a fresh ref of `len+1` bytes filled with `fill`.
+    Put { len: u16, fill: u8 },
+    /// Read a sub-range of a live ref on both clients.
+    ReadRef { slot: u8, off: u16, len: u16 },
+    /// Map a live ref, COW-write through the mapping, read it back, free.
+    CowWrite { slot: u8, fill: u8 },
+    /// Map a live ref, read the snapshot, free the mapping (repeats of
+    /// this hit the cached client's memoized mapping).
+    MapReadFree { slot: u8 },
+    /// Release a live ref on both clients.
+    Release { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>()).prop_map(|(len, fill)| Op::Put { len, fill }),
+        (any::<u8>(), any::<u16>(), any::<u16>()).prop_map(|(slot, off, len)| Op::ReadRef {
+            slot,
+            off,
+            len
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(slot, fill)| Op::CowWrite { slot, fill }),
+        any::<u8>().prop_map(|slot| Op::MapReadFree { slot }),
+        any::<u8>().prop_map(|slot| Op::Release { slot }),
+    ]
+}
+
+/// One tracked ref: the raw client's handle, the cached client's handle,
+/// and the immutable bytes both must serve while it is alive.
+type Slot = Option<(Ref, Ref, Vec<u8>)>;
+
+/// Pick a live slot near `slot`, scanning forward with wraparound.
+fn live_slot(refs: &[Slot], slot: u8) -> Option<usize> {
+    if refs.is_empty() {
+        return None;
+    }
+    let start = slot as usize % refs.len();
+    (0..refs.len())
+        .map(|d| (start + d) % refs.len())
+        .find(|&i| refs[i].is_some())
+}
+
+fn client_rpc(net: &Network, node: NodeId, port: u16) -> Rc<Rpc> {
+    RpcBuilder::new(net, node, port).build()
+}
+
+proptest! {
+    #[test]
+    fn cached_client_is_coherent_with_uncached(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let net = Network::new(FabricConfig::default(), 17);
+            let params = ModelParams::new();
+            let dm_a = net.add_node("dm-raw", NicConfig::default());
+            let dm_b = net.add_node("dm-cached", NicConfig::default());
+            let c_a = net.add_node("c-raw", NicConfig::default());
+            let c_b = net.add_node("c-cached", NicConfig::default());
+            let servers = start_pool(&net, &[dm_a, dm_b], &params, DmServerConfig::default());
+            let raw = DmNetClient::connect(client_rpc(&net, c_a, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let cached = DmNetClient::connect_with(
+                client_rpc(&net, c_b, 100),
+                vec![servers[1].addr()],
+                CacheConfig::all_on(),
+            )
+            .await
+            .unwrap();
+
+            let mut refs: Vec<Slot> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Put { len, fill } => {
+                        let len = len as usize % 12288 + 1;
+                        let data = Bytes::from(vec![fill; len]);
+                        let r1 = raw.put_ref(&data).await.unwrap();
+                        let r2 = cached.put_ref(&data).await.unwrap();
+                        refs.push(Some((r1, r2, data.to_vec())));
+                    }
+                    Op::ReadRef { slot, off, len } => {
+                        let Some(i) = live_slot(&refs, slot) else { continue };
+                        let (r1, r2, data) = refs[i].as_ref().unwrap();
+                        let total = data.len() as u64;
+                        let off = off as u64 % total;
+                        let len = (len as u64 % (total - off)) + 1;
+                        let a = raw.read_ref(r1, off, len).await.unwrap();
+                        let b = cached.read_ref(r2, off, len).await.unwrap();
+                        assert_eq!(a, b, "cached bytes diverge from uncached");
+                        assert_eq!(
+                            &a[..],
+                            &data[off as usize..(off + len) as usize],
+                            "bytes diverge from the model"
+                        );
+                    }
+                    Op::CowWrite { slot, fill } => {
+                        let Some(i) = live_slot(&refs, slot) else { continue };
+                        let (r1, r2, data) = refs[i].as_ref().unwrap();
+                        let m1 = raw.map_ref(r1).await.unwrap();
+                        let m2 = cached.map_ref(r2).await.unwrap();
+                        let patch = Bytes::from(vec![fill; 64.min(data.len())]);
+                        raw.rwrite(m1, &patch).await.unwrap();
+                        cached.rwrite(m2, &patch).await.unwrap();
+                        let a = raw.rread(m1, patch.len() as u64).await.unwrap();
+                        let b = cached.rread(m2, patch.len() as u64).await.unwrap();
+                        assert_eq!(a, b, "COW mapping bytes diverge");
+                        assert_eq!(a, patch);
+                        // The write went to a private copy: the ref's
+                        // snapshot is untouched on both systems.
+                        let probe = 8.min(data.len() as u64);
+                        let s1 = raw.read_ref(r1, 0, probe).await.unwrap();
+                        let s2 = cached.read_ref(r2, 0, probe).await.unwrap();
+                        assert_eq!(s1, s2, "ref snapshot diverges after COW");
+                        assert_eq!(&s1[..], &data[..probe as usize]);
+                        raw.rfree(m1).await.unwrap();
+                        cached.rfree(m2).await.unwrap();
+                    }
+                    Op::MapReadFree { slot } => {
+                        let Some(i) = live_slot(&refs, slot) else { continue };
+                        let (r1, r2, data) = refs[i].as_ref().unwrap();
+                        let m1 = raw.map_ref(r1).await.unwrap();
+                        let m2 = cached.map_ref(r2).await.unwrap();
+                        let a = raw.rread(m1, data.len() as u64).await.unwrap();
+                        let b = cached.rread(m2, data.len() as u64).await.unwrap();
+                        assert_eq!(a, b, "mapped bytes diverge");
+                        assert_eq!(&a[..], &data[..]);
+                        raw.rfree(m1).await.unwrap();
+                        cached.rfree(m2).await.unwrap();
+                    }
+                    Op::Release { slot } => {
+                        let Some(i) = live_slot(&refs, slot) else { continue };
+                        let (r1, r2, _) = refs[i].take().unwrap();
+                        raw.release_ref(&r1).await.unwrap();
+                        cached.release_ref(&r2).await.unwrap();
+                    }
+                }
+            }
+
+            // Graceful teardown: release everything still live, surface
+            // the cached client's hidden state, and require both servers
+            // to converge to the same fully-reclaimed condition.
+            for s in refs.iter_mut() {
+                if let Some((r1, r2, _)) = s.take() {
+                    raw.release_ref(&r1).await.unwrap();
+                    cached.release_ref(&r2).await.unwrap();
+                }
+            }
+            cached.flush_cache().await;
+            for s in &servers {
+                s.with_page_manager(|pm| pm.check_invariants());
+            }
+            let raw_free = servers[0].free_pages_total();
+            let cached_free = servers[1].free_pages_total();
+            assert_eq!(raw_free, cached_free, "final server states diverge");
+            assert_eq!(
+                cached_free,
+                servers[1].capacity_pages_total(),
+                "cached client leaked pages"
+            );
+        });
+    }
+}

@@ -13,7 +13,9 @@
 //! * **response cache** — the server caches response packets per
 //!   `(client, req_num)` until the client's ACK, so duplicate requests are
 //!   answered without re-executing the handler (at-most-once execution for
-//!   the common retransmission races).
+//!   the common retransmission races);
+//! * **multi-op framing** — batching layers pack several logical ops into
+//!   one message body via the shared zero-copy framing in [`multiframe`].
 //!
 //! Cost model hooks: an optional [`CpuPool`] charges per-request dispatch
 //! CPU, and an optional [`NodeMemory`] accounts DMA memory traffic for every
@@ -22,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod multiframe;
 pub mod wire;
 
 use std::cell::{Cell, RefCell};
