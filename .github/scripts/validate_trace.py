@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate an exported trace against the Chrome trace_event JSON schema.
+
+Checks the subset our exporter promises (DESIGN.md §10): a JSON object with
+a `traceEvents` array of complete (`ph: "X"`) span events and `ph: "M"`
+process-name metadata, each with the required fields and types, plus the
+causal-tree invariants (unique span ids, every non-root parent resolves
+within its trace, no child starts before its parent). Children may END
+after their parent — deferred releases ride a coalesced batch that the
+server processes after the originating request span closed.
+
+Usage: validate_trace.py trace.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        fail("top level must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    spans = {}  # (trace_id, span_id) -> (ts, dur)
+    parents = []  # (trace_id, span_id, parent_id)
+    n_meta = n_span = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {i} is not an object")
+        ph = e.get("ph")
+        if not isinstance(e.get("pid"), int) or not isinstance(e.get("tid"), int):
+            fail(f"event {i}: pid/tid must be integers")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"event {i}: name must be a non-empty string")
+        if ph == "M":
+            n_meta += 1
+            if e["name"] != "process_name":
+                fail(f"event {i}: unexpected metadata record {e['name']!r}")
+            if not isinstance(e.get("args", {}).get("name"), str):
+                fail(f"event {i}: process_name needs args.name")
+        elif ph == "X":
+            n_span += 1
+            for key in ("ts", "dur"):
+                if not isinstance(e.get(key), (int, float)) or e[key] < 0:
+                    fail(f"event {i}: {key} must be a non-negative number")
+            if not isinstance(e.get("cat"), str):
+                fail(f"event {i}: complete events need a category")
+            args = e.get("args")
+            if not isinstance(args, dict):
+                fail(f"event {i}: complete events need args")
+            try:
+                tid = int(args["trace_id"], 16)
+                sid = int(args["span_id"], 16)
+                pid = int(args["parent_id"], 16)
+            except (KeyError, TypeError, ValueError):
+                fail(f"event {i}: args need hex trace_id/span_id/parent_id")
+            if (tid, sid) in spans:
+                fail(f"event {i}: duplicate span id {sid:#x} in trace {tid:#x}")
+            spans[(tid, sid)] = (e["ts"], e["dur"])
+            parents.append((tid, sid, pid))
+        else:
+            fail(f"event {i}: unexpected phase {ph!r}")
+
+    if n_span == 0:
+        fail("no span events in the trace")
+    eps = 0.002  # ts/dur carry 3 fraction digits; allow one ulp per bound
+    for tid, sid, pid in parents:
+        if pid == 0:
+            continue
+        if (tid, pid) not in spans:
+            fail(f"span {sid:#x} in trace {tid:#x} has dangling parent {pid:#x}")
+        (cts, _cdur), (pts, _pdur) = spans[(tid, sid)], spans[(tid, pid)]
+        if cts < pts - eps:
+            fail(f"span {sid:#x} starts before its parent {pid:#x}")
+
+    print(
+        f"OK: {n_span} span events across "
+        f"{len({t for t, _, _ in parents})} traces, {n_meta} process names"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py trace.json")
+    main(sys.argv[1])

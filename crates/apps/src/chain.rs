@@ -15,6 +15,7 @@ use bytes::Bytes;
 use dmcommon::DmResult;
 use dmrpc::{DmRpc, Value};
 use simnet::Addr;
+use telemetry::SpanKind;
 
 use crate::cluster::Cluster;
 use crate::codec::{u64_value, value_u64};
@@ -60,7 +61,16 @@ pub async fn build_chain(cluster: &Cluster, length: usize) -> ChainApp {
                         // copy of the argument into the next request buffer.
                         if let Ok(v) = Value::decode(&ctx.payload) {
                             if !v.is_by_ref() {
+                                let mut copy = telemetry::leaf_span(
+                                    SpanKind::MemCharge,
+                                    "chain.forward_copy",
+                                    node.id.0,
+                                );
+                                if let Some(s) = copy.as_mut() {
+                                    s.attr("bytes", v.len());
+                                }
                                 node.mem.memcpy(v.len()).await;
+                                drop(copy);
                             }
                         }
                         match ep.rpc().call(next_addr, CHAIN_REQ, ctx.payload).await {
@@ -77,7 +87,13 @@ pub async fn build_chain(cluster: &Cluster, length: usize) -> ChainApp {
                             return Value::Inline(Bytes::new()).encode();
                         };
                         // Aggregation streams the buffer through memory.
+                        let mut agg =
+                            telemetry::leaf_span(SpanKind::MemCharge, "chain.aggregate", node.id.0);
+                        if let Some(s) = agg.as_mut() {
+                            s.attr("bytes", data.len() as u64);
+                        }
                         node.mem.touch(data.len() as u64).await;
+                        drop(agg);
                         let sum: u64 = data.iter().map(|&b| b as u64).sum();
                         u64_value(sum).encode()
                     }
@@ -98,6 +114,14 @@ impl ChainApp {
     /// Issue one end-to-end request with a fresh `size`-byte argument,
     /// verifying the aggregate on return. Returns the checksum.
     pub async fn request(&self, payload: &Bytes) -> DmResult<u64> {
+        // Trace root for the whole end-to-end request (head-sampled); the
+        // argument upload, every chain hop, the aggregation and the
+        // deferred release all nest under it.
+        let mut root = telemetry::start_trace("chain.request", self.client.addr().node.0);
+        if let Some(s) = root.as_mut() {
+            s.attr("payload_bytes", payload.len() as u64);
+            s.attr("chain_length", self.length as u64);
+        }
         let v = self.client.make_value(payload.clone()).await?;
         // Release the argument whether or not the call succeeded: a timed-out
         // request must not leak its by-reference pages.

@@ -12,6 +12,7 @@ use memsim::{ModelParams, NodeMemory};
 use rpclib::{RpcBuilder, RpcConfig};
 use simcore::CpuPool;
 use simnet::{Addr, FabricConfig, Network, NicConfig, NodeId};
+use telemetry::{InstallGuard, Registry, Tracer};
 
 /// Which of the paper's systems a cluster runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -106,6 +107,9 @@ pub struct Cluster {
     dm_pool: Vec<Addr>,
     fabric: Option<CxlFabric>,
     endpoints: RefCell<Vec<Weak<DmRpc>>>,
+    /// Installed tracer plus its thread-local activation guard (the guard
+    /// deactivates tracing when the cluster drops).
+    tracing: RefCell<Option<(Rc<Tracer>, InstallGuard)>>,
 }
 
 impl Drop for Cluster {
@@ -180,7 +184,127 @@ impl Cluster {
             dm_pool,
             fabric,
             endpoints: RefCell::new(Vec::new()),
+            tracing: RefCell::new(None),
         }
+    }
+
+    /// Install a deterministic tracer for this cluster's runs: `seed` feeds
+    /// span-id generation, and one request in `sample_every` is head-sampled
+    /// (0 records nothing). The tracer stays active until the cluster drops
+    /// or tracing is enabled again; the handle is also returned for export.
+    pub fn enable_tracing(&self, seed: u64, sample_every: u64) -> Rc<Tracer> {
+        let t = Rc::new(Tracer::new(seed, sample_every));
+        let guard = t.install();
+        *self.tracing.borrow_mut() = Some((t.clone(), guard));
+        t
+    }
+
+    /// The installed tracer, if [`Cluster::enable_tracing`] was called.
+    pub fn tracer(&self) -> Option<Rc<Tracer>> {
+        self.tracing.borrow().as_ref().map(|(t, _)| t.clone())
+    }
+
+    /// Export the recorded spans as Chrome trace-event JSON (Perfetto /
+    /// `chrome://tracing` loadable), naming every node the cluster knows.
+    /// `None` unless tracing was enabled.
+    pub fn trace_json(&self) -> Option<String> {
+        let tracing = self.tracing.borrow();
+        let (t, _) = tracing.as_ref()?;
+        for n in self.nodes.borrow().iter() {
+            t.set_node_name(n.id.0, self.net.node_name(n.id));
+        }
+        for s in &self.dm_servers {
+            let node = s.addr().node;
+            t.set_node_name(node.0, self.net.node_name(node));
+        }
+        if let Some(f) = &self.fabric {
+            let node = f.coordinator().addr().node;
+            t.set_node_name(node.0, self.net.node_name(node));
+        }
+        Some(t.export_chrome_json())
+    }
+
+    /// Build a metrics registry over every live stat source in the cluster
+    /// under stable hierarchical names: `net.*` fabric counters,
+    /// `node.<name>.*` per-server memory traffic, `rpc.<name>.<port>.*`
+    /// endpoint counters, `dmclient.<name>.<port>.*` cache and wire
+    /// counters, `dmserver.<i>.*` and `gfam.*` backend gauges. Gauges read
+    /// live values, so one registry serves warmup deltas and final dumps.
+    pub fn metrics(&self) -> Registry {
+        let reg = Registry::new();
+        {
+            let net = self.net.clone();
+            reg.register_gauge("net.delivered", move || net.delivered());
+        }
+        for n in self.nodes.borrow().iter() {
+            let name = self.net.node_name(n.id);
+            let mem = n.mem.clone();
+            reg.register_gauge(format!("node.{name}.mem.traffic_bytes"), move || {
+                mem.traffic_bytes()
+            });
+        }
+        for ep in self.endpoints() {
+            let addr = ep.addr();
+            let name = self.net.node_name(addr.node);
+            let base = format!("rpc.{}.{}", name, addr.port);
+            let s = ep.rpc().stats();
+            reg.register_counter(format!("{base}.calls_completed"), &s.calls_completed);
+            reg.register_counter(format!("{base}.retransmits"), &s.retransmits);
+            reg.register_counter(format!("{base}.requests_handled"), &s.requests_handled);
+            reg.register_counter(format!("{base}.timeouts"), &s.timeouts);
+            if let Some(DmHandle::Net(c)) = ep.dm() {
+                let base = format!("dmclient.{}.{}", name, addr.port);
+                let cache = c.clone();
+                reg.register_gauge(format!("{base}.cache.hits"), move || {
+                    cache.cache_stats().hits()
+                });
+                let cache = c.clone();
+                reg.register_gauge(format!("{base}.cache.misses"), move || {
+                    cache.cache_stats().misses()
+                });
+                let cache = c.clone();
+                reg.register_gauge(format!("{base}.cache.invalidations"), move || {
+                    cache.cache_stats().invalidations()
+                });
+                let cache = c.clone();
+                reg.register_gauge(format!("{base}.cache.batched_ops"), move || {
+                    cache.cache_stats().batched_ops()
+                });
+                let cache = c.clone();
+                reg.register_gauge(format!("{base}.cache.batches"), move || {
+                    cache.cache_stats().batches()
+                });
+                for ty in [
+                    dmnet::proto::req::RELEASE_REF,
+                    dmnet::proto::req::MAP_REF,
+                    dmnet::proto::req::READ_REF,
+                    dmnet::proto::req::BATCH,
+                ] {
+                    let cache = c.clone();
+                    reg.register_gauge(
+                        format!("{base}.wire.{}", dmnet::proto::req_name(ty)),
+                        move || cache.wire_count(ty),
+                    );
+                }
+            }
+        }
+        for (i, s) in self.dm_servers.iter().enumerate() {
+            let srv = s.clone();
+            reg.register_gauge(format!("dmserver.{i}.leases_reclaimed"), move || {
+                srv.leases_reclaimed()
+            });
+            let srv = s.clone();
+            reg.register_gauge(format!("dmserver.{i}.epoch"), move || srv.epoch());
+            let srv = s.clone();
+            reg.register_gauge(format!("dmserver.{i}.traffic_bytes"), move || {
+                srv.memory().traffic_bytes()
+            });
+        }
+        if let Some(f) = &self.fabric {
+            let g = f.gfam().clone();
+            reg.register_gauge("gfam.traffic_bytes", move || g.traffic_bytes());
+        }
+        reg
     }
 
     /// The CXL fabric, if this is a DmCxl cluster.

@@ -107,7 +107,7 @@ fn bench_wire(c: &mut Criterion) {
             |b, &size| {
                 let payload = Bytes::from(vec![9u8; size]);
                 b.iter(|| {
-                    let pkts = fragment(Kind::Request, 1, 7, black_box(&payload), 4096);
+                    let pkts = fragment(Kind::Request, 1, 7, black_box(&payload), 4096, None);
                     let mut it = pkts.iter();
                     let p0 = it.next().unwrap();
                     let (h0, f0) = Header::decode_split(&p0.head, &p0.body).unwrap();

@@ -13,6 +13,7 @@ fn main() {
     bench::fig12::run();
     bench::extras::run();
     bench::rtt_budget::run();
+    bench::latency_breakdown::run();
     println!(
         "\nall experiments done in {:.1}s wall time",
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,5 @@
+//! Per-RPC latency breakdown via telemetry tracing. See
+//! bench::latency_breakdown.
+fn main() {
+    bench::latency_breakdown::run();
+}

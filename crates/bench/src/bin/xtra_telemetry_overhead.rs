@@ -1,0 +1,6 @@
+//! Zero-overhead gate: installed-but-off telemetry may not change the
+//! executor schedule or slow the full RPC stack by more than 2%. See
+//! bench::sim_throughput::telemetry_overhead_gate.
+fn main() {
+    bench::sim_throughput::telemetry_overhead_gate();
+}

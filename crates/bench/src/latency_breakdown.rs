@@ -1,0 +1,85 @@
+//! xtra — per-RPC latency breakdown from the telemetry subsystem: where a
+//! Fig. 5 chain request's end-to-end latency goes, per system, at chain
+//! length 3 with the paper's 4 KB argument.
+//!
+//! Every request is head-sampled (1-in-1), its span tree analyzed by the
+//! deepest-span-wins sweep ([`telemetry::analyze_trace`]), and the
+//! per-category averages written to `results/xtra_latency_breakdown.csv`.
+//! The sweep attributes every instant to exactly one category, so each
+//! row's category columns sum to its end-to-end latency — asserted here
+//! and unit-tested in `tests/telemetry_tracing.rs`.
+
+use apps::chain::build_chain;
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use bytes::Bytes;
+use simcore::Sim;
+use telemetry::{analyze_trace, average, roots, Breakdown, Category, SpanKind};
+
+use crate::report::{f2, Table};
+
+/// Chain length measured (three services, as in the ISSUE's Fig. 5 cut).
+pub const CHAIN_LEN: usize = 3;
+/// Argument size (paper: 4 KB array).
+pub const ARG_SIZE: usize = 4096;
+/// Traced steady-state requests averaged per system.
+pub const REQUESTS: usize = 24;
+
+/// Run the traced chain on one system and return the averaged breakdown.
+pub fn measure(kind: SystemKind) -> Breakdown {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let cluster = Cluster::new(kind, 2, ClusterConfig::default(), 42);
+        let tracer = cluster.enable_tracing(7, 1);
+        let app = build_chain(&cluster, CHAIN_LEN).await;
+        let payload = Bytes::from(vec![7u8; ARG_SIZE]);
+        app.request(&payload).await.expect("warmup");
+        // Let the warmup's deferred-release tail drain, then drop its
+        // spans so only steady-state requests are averaged.
+        simcore::sleep(std::time::Duration::from_millis(2)).await;
+        tracer.clear();
+        for _ in 0..REQUESTS {
+            app.request(&payload).await.expect("chain request");
+        }
+        simcore::sleep(std::time::Duration::from_millis(2)).await;
+        let records = tracer.records();
+        let items: Vec<Breakdown> = roots(&records)
+            .iter()
+            .filter(|r| r.kind == SpanKind::Request)
+            .filter_map(|r| analyze_trace(&records, r.trace_id))
+            .collect();
+        assert_eq!(items.len(), REQUESTS, "every request sampled and retained");
+        average(&items)
+    })
+}
+
+/// Run the experiment and emit `results/xtra_latency_breakdown.csv`.
+pub fn run() {
+    let mut headers = vec!["system", "total_us"];
+    for c in Category::ALL {
+        headers.push(c.label());
+    }
+    let mut t = Table::new("xtra_latency_breakdown", &headers);
+    for kind in SystemKind::ALL {
+        let b = measure(kind);
+        let sum = b.category_sum();
+        let drift = (sum as f64 - b.total_ns as f64).abs();
+        assert!(
+            drift <= b.total_ns as f64 * 0.01,
+            "{}: category sum {sum} vs total {} (> 1% apart)",
+            kind.label(),
+            b.total_ns
+        );
+        let label = kind.label();
+        let total_us = f2(b.total_ns as f64 / 1e3);
+        let cats: Vec<String> = Category::ALL
+            .iter()
+            .map(|&c| f2(b.get(c) as f64 / 1e3))
+            .collect();
+        let mut row: Vec<&dyn std::fmt::Display> = vec![&label, &total_us];
+        for c in &cats {
+            row.push(c);
+        }
+        t.row(&row);
+    }
+    t.finish();
+}

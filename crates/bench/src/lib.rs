@@ -17,6 +17,7 @@
 //! | `extras` | §V-A2 translation overhead, size-threshold and ownership-batching ablations |
 //! | `chaos` | seed-swept fault injection with invariant checks (DESIGN.md §8) |
 //! | `rtt_budget` | control-plane RTTs/op with the §9 client cache + coalescer off vs on |
+//! | `latency_breakdown` | per-RPC latency attribution from the telemetry span trees (§10) |
 
 #![warn(missing_docs)]
 
@@ -29,6 +30,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod latency_breakdown;
 pub mod report;
 pub mod rtt_budget;
 pub mod sim_throughput;

@@ -116,6 +116,67 @@ fn rpc_storm(sim: &Sim) {
     });
 }
 
+/// Zero-overhead gate for the telemetry subsystem (DESIGN.md §10): with a
+/// tracer installed but sampling off, the full-stack `rpc_storm` scenario
+/// must take the exact same schedule (poll-count equality — installed-but-off
+/// hooks may not move a single wakeup) and must not slow down by more than
+/// 2% of wall time (medians of interleaved repetitions, so machine noise
+/// hits both sides equally). Panics on violation; run by the CI `telemetry`
+/// job via `xtra_telemetry_overhead`.
+pub fn telemetry_overhead_gate() {
+    fn timed(install_tracer: bool) -> Outcome {
+        // Keep the tracer + its TLS installation alive for the whole run.
+        let _tracing = install_tracer.then(|| {
+            let t = std::rc::Rc::new(telemetry::Tracer::new(1, 0));
+            let guard = t.install();
+            (t, guard)
+        });
+        let sim = Sim::new();
+        let start = Instant::now();
+        rpc_storm(&sim);
+        sim.run();
+        Outcome {
+            polls: sim.poll_count(),
+            wall: start.elapsed(),
+        }
+    }
+    timed(false);
+    timed(true); // warmup both paths
+    let mut off = Vec::new();
+    let mut on = Vec::new();
+    // Alternate which side goes first so drift (turbo, thermal) cancels.
+    for i in 0..9 {
+        if i % 2 == 0 {
+            off.push(timed(false));
+            on.push(timed(true));
+        } else {
+            on.push(timed(true));
+            off.push(timed(false));
+        }
+    }
+    assert_eq!(
+        off[0].polls, on[0].polls,
+        "an installed-but-off tracer changed the executor schedule"
+    );
+    let median = |v: &mut Vec<Outcome>| {
+        v.sort_by_key(|o| o.wall);
+        v[v.len() / 2].wall.as_secs_f64()
+    };
+    let (base, traced) = (median(&mut off), median(&mut on));
+    let overhead_pct = (traced / base - 1.0) * 100.0;
+    println!(
+        "telemetry installed-but-off overhead on rpc_storm: {overhead_pct:+.2}% \
+         (baseline {:.2} ms, with tracer {:.2} ms, {} polls)",
+        base * 1e3,
+        traced * 1e3,
+        off[0].polls
+    );
+    assert!(
+        overhead_pct <= 2.0,
+        "installed-but-off telemetry slowed rpc_storm by {overhead_pct:.2}% (> 2%)"
+    );
+}
+
 /// Run all scenarios and emit `results/xtra_sim_throughput.csv`.
 pub fn run() {
     type Scenario = (&'static str, fn(&Sim));

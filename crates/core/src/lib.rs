@@ -194,7 +194,12 @@ impl DmRpc {
     pub fn release_async(self: &Rc<Self>, v: Value) {
         if let Value::ByRef(_) = &v {
             let me = self.clone();
+            // Carry the caller's trace context into the detached task so
+            // the release (direct or via the coalescer) stays attributed
+            // to the request that dropped the ref.
+            let ctx = telemetry::current_ctx();
             simcore::spawn(async move {
+                let _ctx = ctx.and_then(telemetry::set_ctx);
                 let _ = me.release(&v).await;
             });
         }

@@ -26,6 +26,7 @@ use rpclib::Rpc;
 use simcore::sync::Notify;
 use simcore::Counter;
 use simnet::Addr;
+use telemetry::SpanKind;
 
 use crate::coordinator::{self, encode_request, encode_return};
 use crate::gfam::{GFam, Ppn};
@@ -149,10 +150,17 @@ impl CxlHost {
         self.free.borrow().iter().copied().collect()
     }
 
+    fn node_id(&self) -> u32 {
+        self.rpc.addr().node.0
+    }
+
     // -- ownership protocol --------------------------------------------------
 
     async fn coordinator_request(&self, n: usize) -> DmResult<Vec<Ppn>> {
         self.stats.coord_rpcs.incr();
+        // DM-control span over the ownership round trip; the nested
+        // `rpc.call` contributes its own client/transport spans.
+        let _grant = telemetry::span(SpanKind::DmOp, "cxl.page_grant", self.node_id());
         let resp = self
             .rpc
             .call(
@@ -355,8 +363,14 @@ impl CxlHost {
                 if self.gfam.rc_get(pte.ppn) > 1 {
                     // COW: allocate, copy on the device, retarget PTE.
                     let newp = self.take_page().await?;
+                    let mut cow =
+                        telemetry::leaf_span(SpanKind::Cow, "cxl.cow_copy", self.node_id());
+                    if let Some(s) = cow.as_mut() {
+                        s.attr("bytes_copied", PAGE_SIZE as u64);
+                    }
                     self.gfam.copy_page(pte.ppn, newp);
                     self.gfam.access(2 * PAGE_SIZE as u64).await;
+                    drop(cow);
                     self.stats.cow_copies.incr();
                     self.page_table.borrow_mut().insert(
                         vpn,
@@ -417,6 +431,10 @@ impl CxlHost {
             return Err(DmError::InvalidAddress);
         }
         self.check_bounds(va, len)?;
+        let mut op = telemetry::span(SpanKind::DmOp, "cxl.create_ref", self.node_id());
+        if let Some(s) = op.as_mut() {
+            s.attr("len", len);
+        }
         let n_pages = len.div_ceil(PAGE_SIZE as u64);
         let mut pages = Vec::with_capacity(n_pages as usize);
         for i in 0..n_pages {
@@ -462,12 +480,17 @@ impl CxlHost {
             }
             CopyMode::Eager => {
                 let mut out = Vec::with_capacity(pages.len());
+                let mut cow = telemetry::leaf_span(SpanKind::Cow, "cxl.eager_copy", self.node_id());
+                if let Some(s) = cow.as_mut() {
+                    s.attr("bytes_copied", pages.len() as u64 * PAGE_SIZE as u64);
+                }
                 for &(_vpn, ppn) in &pages {
                     let newp = self.take_page().await?;
                     self.gfam.copy_page(ppn, newp);
                     self.gfam.access(2 * PAGE_SIZE as u64).await;
                     out.push(newp);
                 }
+                drop(cow);
                 out
             }
         };
@@ -480,6 +503,7 @@ impl CxlHost {
         let Ref::Cxl { len, pages } = r else {
             return Err(DmError::InvalidRef);
         };
+        let _op = telemetry::span(SpanKind::DmOp, "cxl.map_ref", self.node_id());
         let va = self.vma.borrow_mut().alloc(*len, PAGE_SIZE as u64)?;
         for (i, &ppn) in pages.iter().enumerate() {
             self.gfam.rc_inc(ppn);
@@ -501,6 +525,7 @@ impl CxlHost {
         let Ref::Cxl { pages, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        let _op = telemetry::span(SpanKind::DmOp, "cxl.release_ref", self.node_id());
         for &ppn in pages {
             if self.gfam.rc_dec(ppn) == 0 {
                 self.give_back_page(ppn);

@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use dmcommon::GlobalPid;
+use telemetry::TraceCtx;
 
 use crate::proto::req;
 
@@ -152,8 +153,9 @@ struct ServerCache {
     /// Tracked mappings by ref key (BTreeMap: drain order must be
     /// deterministic).
     maps: RefCell<BTreeMap<u64, MapEntry>>,
-    /// Coalescer queue: framed control ops awaiting a flush.
-    pending: RefCell<Vec<(u8, Bytes)>>,
+    /// Coalescer queue: framed control ops awaiting a flush, each with
+    /// the trace context of the request that enqueued it (if sampled).
+    pending: RefCell<Vec<(u8, Bytes, Option<TraceCtx>)>>,
     /// Ref keys named by queued ops (conflict detection).
     pending_keys: RefCell<BTreeSet<u64>>,
     /// Regions named by queued ops (conflict detection).
@@ -421,7 +423,11 @@ impl ClientCache {
         region: Option<(GlobalPid, u64)>,
     ) -> bool {
         let s = &self.servers[idx];
-        s.pending.borrow_mut().push((ty, body));
+        // Captured here, not at flush: the flush timer task has no trace
+        // context, but the request that queued the op does.
+        s.pending
+            .borrow_mut()
+            .push((ty, body, telemetry::current_ctx()));
         if let Some(k) = key {
             s.pending_keys.borrow_mut().insert(k);
         }
@@ -439,7 +445,9 @@ impl ClientCache {
         // The pid placeholder is resolved by the client before encoding;
         // see `DmNetClient::frame_free`. To keep the cache self-contained
         // we store the va and let the client frame the body.
-        s.pending.borrow_mut().push((req::FREE, free_marker(va)));
+        s.pending
+            .borrow_mut()
+            .push((req::FREE, free_marker(va), telemetry::current_ctx()));
         s.pending_vas.borrow_mut().insert((u32::MAX, va));
         self.stats.batched_ops.set(self.stats.batched_ops.get() + 1);
         !s.flush_scheduled.replace(true)
@@ -447,7 +455,7 @@ impl ClientCache {
 
     /// Take the queued ops for `idx`, clearing conflict sets and the
     /// flush-scheduled flag.
-    pub(crate) fn drain(&self, idx: usize) -> Vec<(u8, Bytes)> {
+    pub(crate) fn drain(&self, idx: usize) -> Vec<(u8, Bytes, Option<TraceCtx>)> {
         let s = &self.servers[idx];
         s.flush_scheduled.set(false);
         s.pending_keys.borrow_mut().clear();

@@ -505,20 +505,20 @@ async fn flush_batch(
     if ops.is_empty() || !alive.get() {
         return;
     }
-    let ops: Vec<(u8, Bytes)> = ops
+    let ops: Vec<(u8, Bytes, Option<telemetry::TraceCtx>)> = ops
         .into_iter()
-        .map(|(ty, body)| {
+        .map(|(ty, body, ctx)| {
             if ty == req::FREE {
                 let va = crate::cache::read_free_marker(&body);
-                (ty, Writer::new().pid(pid).u64(va).finish())
+                (ty, Writer::new().pid(pid).u64(va).finish(), ctx)
             } else {
-                (ty, body)
+                (ty, body, ctx)
             }
         })
         .collect();
     cache.count_wire(req::BATCH);
     cache.note_batch(ops.len());
-    let body = proto::encode_batch(&ops);
+    let body = proto::encode_batch_traced(&ops);
     let Ok(resp) = rpc.call(addr, req::BATCH, body).await else {
         return;
     };

@@ -10,6 +10,7 @@
 
 use bytes::{Bytes, BytesMut};
 use dmcommon::{DmError, DmResult, GlobalPid};
+use telemetry::TraceCtx;
 
 /// RPC `req_type` values used by the DM protocol.
 pub mod req {
@@ -51,6 +52,27 @@ pub mod req {
 
 /// Well-known port DM servers listen on.
 pub const DM_PORT: u16 = 7000;
+
+/// Stable human-readable name for a request type, used as the span name
+/// when tracing server-side dispatch.
+pub fn req_name(ty: u8) -> &'static str {
+    match ty {
+        req::REGISTER => "dm.register",
+        req::ALLOC => "dm.alloc",
+        req::FREE => "dm.free",
+        req::CREATE_REF => "dm.create_ref",
+        req::MAP_REF => "dm.map_ref",
+        req::READ => "dm.read",
+        req::WRITE => "dm.write",
+        req::RELEASE_REF => "dm.release_ref",
+        req::WRITE_CREATE_REF => "dm.write_create_ref",
+        req::READ_REF => "dm.read_ref",
+        req::PUT_REF => "dm.put_ref",
+        req::RENEW_LEASE => "dm.renew_lease",
+        req::BATCH => "dm.batch",
+        _ => "dm.unknown",
+    }
+}
 
 /// Whether a request type is control-plane (metadata: registration,
 /// pin/unpin, release, lease renewal) as opposed to data-plane (carrying
@@ -127,16 +149,67 @@ pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
     split_response(resp).1
 }
 
+/// High bit of a batch item tag: set when the item body starts with a
+/// 16-byte trace context (`trace_id` LE u64, `span_id` LE u64) captured
+/// where the op was enqueued. Request types stay ≤ [`req::BATCH`] (22),
+/// so the bit is free; untraced batches are byte-identical to the
+/// pre-telemetry encoding.
+pub const BATCH_TRACE_BIT: u8 = 0x80;
+
 /// Frame `items` (req type, body) as a [`req::BATCH`] request body
-/// (rpclib's tagged multi-op framing).
+/// (rpclib's tagged multi-op framing), with no trace contexts.
 pub fn encode_batch(items: &[(u8, Bytes)]) -> Bytes {
-    rpclib::multiframe::encode_tagged(items)
+    let untraced: Vec<(u8, Bytes, Option<TraceCtx>)> = items
+        .iter()
+        .map(|(ty, body)| (*ty, body.clone(), None))
+        .collect();
+    encode_batch_traced(&untraced)
 }
 
-/// Decode a [`req::BATCH`] request body into (req type, body) items.
-/// Zero-copy: the returned bodies share the input buffer's storage.
-pub fn decode_batch(body: &Bytes) -> DmResult<Vec<(u8, Bytes)>> {
-    rpclib::multiframe::decode_tagged(body).ok_or(DmError::Malformed)
+/// Frame `items` (req type, body, optional trace context) as a
+/// [`req::BATCH`] request body. Items carrying a context get the
+/// [`BATCH_TRACE_BIT`] tag bit and a 16-byte context prefix, so batched
+/// control ops stay attributable to the request that enqueued them even
+/// though the flush RPC itself runs in a timer task.
+pub fn encode_batch_traced(items: &[(u8, Bytes, Option<TraceCtx>)]) -> Bytes {
+    let framed: Vec<(u8, Bytes)> = items
+        .iter()
+        .map(|(ty, body, ctx)| match ctx {
+            None => (*ty, body.clone()),
+            Some(c) => {
+                let mut b = BytesMut::with_capacity(16 + body.len());
+                b.extend_from_slice(&c.trace_id.to_le_bytes());
+                b.extend_from_slice(&c.span_id.to_le_bytes());
+                b.extend_from_slice(body);
+                (*ty | BATCH_TRACE_BIT, b.freeze())
+            }
+        })
+        .collect();
+    rpclib::multiframe::encode_tagged(&framed)
+}
+
+/// Decode a [`req::BATCH`] request body into (req type, body, optional
+/// trace context) items. Zero-copy: the returned bodies share the input
+/// buffer's storage (traced items slice past their context prefix).
+pub fn decode_batch(body: &Bytes) -> DmResult<Vec<(u8, Bytes, Option<TraceCtx>)>> {
+    let raw = rpclib::multiframe::decode_tagged(body).ok_or(DmError::Malformed)?;
+    raw.into_iter()
+        .map(|(tag, body)| {
+            if tag & BATCH_TRACE_BIT == 0 {
+                return Ok((tag, body, None));
+            }
+            if body.len() < 16 {
+                return Err(DmError::Malformed);
+            }
+            let trace_id = u64::from_le_bytes(body[..8].try_into().expect("len checked"));
+            let span_id = u64::from_le_bytes(body[8..16].try_into().expect("len checked"));
+            Ok((
+                tag & !BATCH_TRACE_BIT,
+                body.slice(16..),
+                Some(TraceCtx { trace_id, span_id }),
+            ))
+        })
+        .collect()
 }
 
 /// Frame per-sub-request responses as a batch response body (rpclib's
@@ -287,11 +360,51 @@ mod tests {
             (req::RELEASE_REF, Bytes::new()),
         ];
         let decoded = decode_batch(&encode_batch(&items)).unwrap();
-        assert_eq!(decoded, items);
+        let expect: Vec<(u8, Bytes, Option<TraceCtx>)> = items
+            .iter()
+            .map(|(ty, body)| (*ty, body.clone(), None))
+            .collect();
+        assert_eq!(decoded, expect);
 
         let resps = vec![ok_response(1, b""), err_response(2, DmError::InvalidRef)];
         let back = decode_batch_responses(&encode_batch_responses(&resps)).unwrap();
         assert_eq!(back, resps);
+    }
+
+    #[test]
+    fn traced_batch_items_roundtrip_and_mix_with_untraced() {
+        let ctx = TraceCtx {
+            trace_id: 0x1111_2222_3333_4444,
+            span_id: 0x5555_6666_7777_8888,
+        };
+        let items = vec![
+            (req::RELEASE_REF, Writer::new().u64(11).finish(), Some(ctx)),
+            (
+                req::FREE,
+                Writer::new().pid(GlobalPid(3)).u64(22).finish(),
+                None,
+            ),
+            (req::RELEASE_REF, Bytes::new(), Some(ctx)),
+        ];
+        let body = encode_batch_traced(&items);
+        assert_eq!(decode_batch(&body).unwrap(), items);
+
+        // An all-untraced batch is byte-identical to the legacy encoding:
+        // the trace bit never appears on the wire unless a context rode in.
+        let plain = vec![(req::RELEASE_REF, Writer::new().u64(11).finish())];
+        let traced_none: Vec<(u8, Bytes, Option<TraceCtx>)> =
+            plain.iter().map(|(ty, b)| (*ty, b.clone(), None)).collect();
+        assert_eq!(encode_batch(&plain), encode_batch_traced(&traced_none));
+    }
+
+    #[test]
+    fn traced_batch_truncated_context_is_malformed() {
+        // Tag claims a context prefix but the body is too short for one.
+        let raw = rpclib::multiframe::encode_tagged(&[(
+            req::RELEASE_REF | BATCH_TRACE_BIT,
+            Bytes::from_static(&[0u8; 15]),
+        )]);
+        assert_eq!(decode_batch(&raw).unwrap_err(), DmError::Malformed);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use memsim::NodeMemory;
 use rpclib::{Rpc, RpcBuilder, RpcConfig};
 use simcore::{CpuPool, SimRng};
 use simnet::{Network, NodeId};
+use telemetry::SpanKind;
 
 use crate::page_manager::{OpCost, PageManager};
 use crate::proto::{self, err_response, ok_response, req, Reader, Writer};
@@ -221,6 +222,14 @@ impl DmServer {
             self.leases_reclaimed.set(self.leases_reclaimed.get() + 1);
             // Reclamation drops refs: caches filled before it are suspect.
             self.epoch.set(self.epoch.get() + 1);
+            // The sweeper acts on its own, not on behalf of any request,
+            // so each reclamation becomes a standalone trace.
+            telemetry::root_event(
+                SpanKind::LeaseReclaim,
+                "dm.lease_reclaim",
+                self.addr().node.0,
+                &[("pid", pid as u64), ("epoch", self.epoch.get())],
+            );
         }
     }
 
@@ -385,7 +394,22 @@ impl DmServer {
             + c.per_page_cpu * (cost.refcount_updates + cost.pages_faulted) as u32
             + c.translation_cpu * translations as u32
             + copy_time;
+        // The copy shares one `execute` with the op's bookkeeping CPU —
+        // splitting it into a second execute could interleave with other
+        // tasks and perturb schedules even with telemetry off. The COW
+        // span therefore covers the whole charge; the copy dominates it,
+        // and `copy_ns` records the exact share for analysis.
+        let mut cow = if cost.bytes_copied > 0 {
+            telemetry::leaf_span(SpanKind::Cow, "dm.cow_copy", self.addr().node.0)
+        } else {
+            None
+        };
+        if let Some(s) = cow.as_mut() {
+            s.attr("bytes_copied", cost.bytes_copied);
+            s.attr("copy_ns", copy_time.as_nanos() as u64);
+        }
         self.shards[shard].cpu.execute(cpu_time).await;
+        drop(cow);
         self.translation_ns.set(
             self.translation_ns.get() + (c.translation_cpu * translations as u32).as_nanos() as u64,
         );
@@ -424,9 +448,20 @@ impl DmServer {
     }
 
     async fn handle(self: Rc<Self>, ty: u8, src: simnet::Addr, body: Bytes) -> Bytes {
+        // Child of the RPC layer's server-handle span when the request was
+        // traced; a no-op (one flag read) otherwise.
+        let mut op = telemetry::span(SpanKind::DmOp, proto::req_name(ty), self.addr().node.0);
+        if let Some(s) = op.as_mut() {
+            s.attr("body_bytes", body.len() as u64);
+        }
         match self.dispatch(ty, src, &body).await {
             Ok(resp) => resp,
-            Err(e) => err_response(self.epoch.get(), e),
+            Err(e) => {
+                if let Some(s) = op.as_mut() {
+                    s.attr("error", 1);
+                }
+                err_response(self.epoch.get(), e)
+            }
         }
     }
 
@@ -620,14 +655,26 @@ impl DmServer {
                 // error.
                 let items = proto::decode_batch(body)?;
                 let mut resps = Vec::with_capacity(items.len());
-                for (sub_ty, sub_body) in items {
+                for (sub_ty, sub_body, sub_ctx) in items {
                     if sub_ty == req::BATCH {
                         return Err(DmError::Malformed); // no nesting
                     }
+                    // A sub-op that rode in with its enqueuer's context is
+                    // parented there, reconnecting the deferred op to the
+                    // request that caused it (the flush RPC is untraced).
+                    let sub_span = sub_ctx.and_then(|c| {
+                        telemetry::span_with_parent(
+                            SpanKind::DmOp,
+                            proto::req_name(sub_ty),
+                            self.addr().node.0,
+                            c,
+                        )
+                    });
                     let resp = match Box::pin(self.dispatch(sub_ty, src, &sub_body)).await {
                         Ok(r) => r,
                         Err(e) => err_response(self.epoch.get(), e),
                     };
+                    drop(sub_span);
                     resps.push(resp);
                 }
                 Ok(self.ok(&proto::encode_batch_responses(&resps)))

@@ -40,6 +40,7 @@ use memsim::NodeMemory;
 use simcore::sync::{oneshot, Semaphore};
 use simcore::{Counter, CpuPool, Histogram, SimRng};
 use simnet::{Addr, Network, NodeId, Payload};
+use telemetry::SpanKind;
 use wire::{fragment, Header, Kind, Packet, Reassembly};
 
 /// Wrap a wire packet as a two-segment datagram payload (refcount bumps, no
@@ -419,12 +420,22 @@ impl Rpc {
         };
         let req_num = self.next_req.get();
         self.next_req.set(req_num + 1);
+        // Traced calls carry their context in the header extension so the
+        // server parents its handling span under this one; unsampled calls
+        // stay byte-identical on the wire.
+        let mut call_span = telemetry::span(SpanKind::ClientCall, "rpc.call", self.addr.node.0);
+        if let Some(s) = call_span.as_mut() {
+            s.attr("req_type", req_type as u64);
+            s.attr("req_bytes", payload.len() as u64);
+        }
+        let trace = call_span.as_ref().map(|s| s.ctx());
         let pkts = Rc::new(fragment(
             Kind::Request,
             req_type,
             req_num,
             &payload,
             self.config.mtu,
+            trace,
         ));
         if let Some(mem) = &self.mem {
             mem.account(payload.len() as u64); // tx DMA
@@ -446,6 +457,7 @@ impl Rpc {
         // total retry-time budget.
         let rpc = self.clone();
         let watch_pkts = pkts.clone();
+        let watch_trace = trace;
         simcore::spawn(async move {
             let mut attempts: u32 = 1; // the initial transmission
             let base = rpc.config.rto + rpc.config.rto_per_packet * (watch_pkts.len() as u32);
@@ -474,6 +486,15 @@ impl Rpc {
                 }
                 attempts += 1;
                 rpc.stats.retransmits.incr();
+                if let Some(ctx) = watch_trace {
+                    telemetry::event_with_parent(
+                        SpanKind::Retry,
+                        "rpc.retransmit",
+                        rpc.addr.node.0,
+                        ctx,
+                        &[("attempt", attempts as u64)],
+                    );
+                }
                 for p in watch_pkts.iter() {
                     rpc.transmit(dst, packet_payload(p));
                 }
@@ -494,6 +515,7 @@ impl Rpc {
                 pkt_idx: 0,
                 num_pkts: 1,
                 msg_len: 0,
+                trace: None,
             }
             .encode(&[]);
             self.transmit(dst, ack.into());
@@ -573,10 +595,26 @@ impl Rpc {
         }
         let rpc = self.clone();
         simcore::spawn(async move {
+            // Continue the caller's trace on this node: the handling span
+            // parents everything the handler does (nested calls included).
+            let mut srv_span = hdr.trace.and_then(|ctx| {
+                telemetry::span_with_parent(
+                    SpanKind::ServerHandle,
+                    "rpc.handle",
+                    rpc.addr.node.0,
+                    ctx,
+                )
+            });
+            if let Some(s) = srv_span.as_mut() {
+                s.attr("req_type", hdr.req_type as u64);
+                s.attr("req_bytes", payload.len() as u64);
+            }
             if let Some(cpu) = &rpc.cpu {
+                let ser = telemetry::span(SpanKind::Serialize, "rpc.dispatch_cpu", rpc.addr.node.0);
                 let kib = (payload.len() as u64).div_ceil(1024) as u32;
                 cpu.execute(rpc.config.per_rpc_cpu + rpc.config.per_kb_cpu * kib)
                     .await;
+                drop(ser);
             }
             let handler = rpc.handlers.borrow().get(&hdr.req_type).cloned();
             let Some(handler) = handler else {
@@ -610,6 +648,7 @@ impl Rpc {
                 hdr.req_num,
                 &resp,
                 rpc.config.mtu,
+                None, // responses never carry the trace extension
             ));
             rpc.resp_cache.borrow_mut().insert(key, pkts.clone());
             rpc.executing.borrow_mut().remove(&key);

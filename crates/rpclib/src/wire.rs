@@ -1,11 +1,18 @@
-//! Wire format: a fixed 20-byte packet header followed by a payload
-//! fragment.
+//! Wire format: a fixed 20-byte packet header, an optional trace-context
+//! extension, and a payload fragment.
 //!
 //! Mirrors eRPC's design: messages are fragmented into MTU-sized packets;
 //! the header carries the request number, fragment index and total message
 //! length so the receiver can reassemble out-of-order fragments.
+//!
+//! Header byte 3 is a flags byte (zero since the first wire revision, so
+//! old headers parse as flag-free). [`FLAG_TRACE`] marks a sampled
+//! request: a small TLV extension carrying the [`TraceCtx`] follows the
+//! fixed header. Unsampled traffic is byte-identical to the pre-telemetry
+//! format — tracing that is off cannot perturb the packet schedule.
 
 use bytes::{Bytes, BytesMut};
+use telemetry::TraceCtx;
 
 /// Packet kind discriminator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,8 +39,14 @@ impl Kind {
 /// Magic byte guarding against stray datagrams.
 pub const MAGIC: u8 = 0xD7;
 
-/// Serialized header size in bytes.
+/// Fixed header size in bytes (excluding the optional trace extension).
 pub const HEADER_BYTES: usize = 20;
+
+/// Flags-byte bit: a trace-context extension follows the fixed header.
+pub const FLAG_TRACE: u8 = 0x01;
+
+/// Serialized trace-extension size: field count byte + 2 × (id + u64).
+pub const TRACE_EXT_BYTES: usize = 1 + 2 * 9;
 
 /// Parsed packet header.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,17 +63,26 @@ pub struct Header {
     pub num_pkts: u16,
     /// Total message length in bytes.
     pub msg_len: u32,
+    /// Trace context for sampled requests (rides the wire as a TLV
+    /// extension after the fixed header; absent on unsampled traffic).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Header {
-    /// Encode just the header into its own 20-byte buffer.
+    /// Encode the header (and trace extension, if any) into its own
+    /// buffer: [`HEADER_BYTES`] long, plus [`TRACE_EXT_BYTES`] when
+    /// traced.
     pub fn encode_header(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(HEADER_BYTES);
-        b.extend_from_slice(&[MAGIC, self.kind as u8, self.req_type, 0]);
+        let flags = if self.trace.is_some() { FLAG_TRACE } else { 0 };
+        let mut b = BytesMut::with_capacity(HEADER_BYTES + TRACE_EXT_BYTES);
+        b.extend_from_slice(&[MAGIC, self.kind as u8, self.req_type, flags]);
         b.extend_from_slice(&self.req_num.to_le_bytes());
         b.extend_from_slice(&self.pkt_idx.to_le_bytes());
         b.extend_from_slice(&self.num_pkts.to_le_bytes());
         b.extend_from_slice(&self.msg_len.to_le_bytes());
+        if let Some(ctx) = self.trace {
+            encode_trace_ext(ctx, &mut b);
+        }
         b.freeze()
     }
 
@@ -75,10 +97,11 @@ impl Header {
     }
 
     /// Decode a contiguous packet into `(header, fragment)`. Returns `None`
-    /// for malformed packets (wrong magic, short, unknown kind).
+    /// for malformed packets (wrong magic, short, unknown kind, bad trace
+    /// extension).
     pub fn decode(packet: &Bytes) -> Option<(Header, Bytes)> {
-        let hdr = Self::parse(packet)?;
-        Some((hdr, packet.slice(HEADER_BYTES..)))
+        let (hdr, used) = Self::parse(packet)?;
+        Some((hdr, packet.slice(used..)))
     }
 
     /// Decode a packet delivered as separate header and fragment buffers (the
@@ -86,8 +109,12 @@ impl Header {
     /// `head` as a contiguous packet when `body` is empty, so legacy
     /// single-buffer packets and raw hostile datagrams decode identically.
     pub fn decode_split(head: &Bytes, body: &Bytes) -> Option<(Header, Bytes)> {
-        if head.len() == HEADER_BYTES {
-            return Some((Self::parse(head)?, body.clone()));
+        // Fast path: the head segment is exactly one encoded header (with
+        // or without trace extension) — the body is the fragment, shared.
+        if let Some((hdr, used)) = Self::parse(head) {
+            if used == head.len() {
+                return Some((hdr, body.clone()));
+            }
         }
         if body.is_empty() {
             return Self::decode(head);
@@ -103,13 +130,18 @@ impl Header {
         Self::decode(&whole.freeze())
     }
 
-    /// Parse the fixed header at the front of `buf`.
-    fn parse(buf: &[u8]) -> Option<Header> {
+    /// Parse the header (and trace extension, if flagged) at the front of
+    /// `buf`. Returns the header and the number of bytes consumed.
+    fn parse(buf: &[u8]) -> Option<(Header, usize)> {
         if buf.len() < HEADER_BYTES || buf[0] != MAGIC {
             return None;
         }
         let kind = Kind::from_u8(buf[1])?;
         let req_type = buf[2];
+        let flags = buf[3];
+        if flags & !FLAG_TRACE != 0 {
+            return None; // Unknown flag bits: not ours.
+        }
         let req_num = u64::from_le_bytes(buf[4..12].try_into().ok()?);
         let pkt_idx = u16::from_le_bytes(buf[12..14].try_into().ok()?);
         let num_pkts = u16::from_le_bytes(buf[14..16].try_into().ok()?);
@@ -117,24 +149,111 @@ impl Header {
         if pkt_idx >= num_pkts {
             return None;
         }
-        Some(Header {
-            kind,
-            req_type,
-            req_num,
-            pkt_idx,
-            num_pkts,
-            msg_len,
-        })
+        let (trace, used) = if flags & FLAG_TRACE != 0 {
+            let (ctx, ext) = decode_trace_ext(&buf[HEADER_BYTES..]).ok()?;
+            (Some(ctx), HEADER_BYTES + ext)
+        } else {
+            (None, HEADER_BYTES)
+        };
+        Some((
+            Header {
+                kind,
+                req_type,
+                req_num,
+                pkt_idx,
+                num_pkts,
+                msg_len,
+                trace,
+            },
+            used,
+        ))
     }
 }
 
-/// One wire packet as a two-part gather list: the encoded 20-byte header plus
-/// a refcounted slice of the message payload. Keeping the fragment as a slice
+// ---------------------------------------------------------------------------
+// Trace-context extension (TLV).
+// ---------------------------------------------------------------------------
+
+/// Trace-extension field id: trace identifier.
+const TRACE_FIELD_TRACE_ID: u8 = 1;
+/// Trace-extension field id: parent span identifier.
+const TRACE_FIELD_SPAN_ID: u8 = 2;
+/// Hard cap on the declared field count (hostile-input bound).
+const MAX_TRACE_FIELDS: u8 = 4;
+
+/// Why a trace extension failed to decode. Malformed extensions drop the
+/// whole packet (the transport treats them like any other garbage
+/// datagram); the typed error exists so hardening tests can assert the
+/// failure mode instead of fishing for panics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceExtError {
+    /// Buffer ended before the declared fields.
+    Truncated,
+    /// Declared field count exceeds the protocol bound.
+    TooManyFields,
+    /// The same field id appeared twice.
+    DuplicateField,
+    /// A field id this revision does not define.
+    UnknownField,
+    /// A required field (trace id / span id) is absent.
+    MissingField,
+}
+
+/// Append the TLV trace extension for `ctx` to `out`
+/// ([`TRACE_EXT_BYTES`] bytes: `[n=2][id][u64 LE]×2`).
+pub fn encode_trace_ext(ctx: TraceCtx, out: &mut BytesMut) {
+    out.extend_from_slice(&[2]);
+    out.extend_from_slice(&[TRACE_FIELD_TRACE_ID]);
+    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    out.extend_from_slice(&[TRACE_FIELD_SPAN_ID]);
+    out.extend_from_slice(&ctx.span_id.to_le_bytes());
+}
+
+/// Decode a TLV trace extension from the front of `buf`. Returns the
+/// context and the number of bytes consumed. Total function: any input —
+/// truncated, oversized, duplicated, unknown — yields a typed error,
+/// never a panic.
+pub fn decode_trace_ext(buf: &[u8]) -> Result<(TraceCtx, usize), TraceExtError> {
+    let n = *buf.first().ok_or(TraceExtError::Truncated)?;
+    if n > MAX_TRACE_FIELDS {
+        return Err(TraceExtError::TooManyFields);
+    }
+    let mut pos = 1usize;
+    let mut trace_id: Option<u64> = None;
+    let mut span_id: Option<u64> = None;
+    for _ in 0..n {
+        let id = *buf.get(pos).ok_or(TraceExtError::Truncated)?;
+        pos += 1;
+        let raw = buf
+            .get(pos..pos + 8)
+            .ok_or(TraceExtError::Truncated)?
+            .try_into()
+            .expect("len checked");
+        pos += 8;
+        let v = u64::from_le_bytes(raw);
+        let slot = match id {
+            TRACE_FIELD_TRACE_ID => &mut trace_id,
+            TRACE_FIELD_SPAN_ID => &mut span_id,
+            _ => return Err(TraceExtError::UnknownField),
+        };
+        if slot.replace(v).is_some() {
+            return Err(TraceExtError::DuplicateField);
+        }
+    }
+    match (trace_id, span_id) {
+        (Some(trace_id), Some(span_id)) => Ok((TraceCtx { trace_id, span_id }, pos)),
+        _ => Err(TraceExtError::MissingField),
+    }
+}
+
+/// One wire packet as a two-part gather list: the encoded header plus a
+/// refcounted slice of the message payload. Keeping the fragment as a slice
 /// of the original message (instead of copying it behind the header) is what
 /// makes the transmit path zero-copy.
 #[derive(Clone, Debug)]
 pub struct Packet {
-    /// Encoded fixed-size header ([`HEADER_BYTES`] long).
+    /// Encoded header: [`HEADER_BYTES`] long, plus [`TRACE_EXT_BYTES`]
+    /// when the packet carries a trace context.
     pub head: Bytes,
     /// Payload fragment: a shared slice of the original message.
     pub body: Bytes,
@@ -162,13 +281,16 @@ impl Packet {
 
 /// Fragment `payload` into MTU-sized packets with the given header template.
 /// Always emits at least one packet (possibly empty payload). Fragment bodies
-/// are shared slices of `payload` — no payload byte is copied.
+/// are shared slices of `payload` — no payload byte is copied. A trace
+/// context, if given, rides every fragment's header so any one surviving
+/// packet lets the receiver parent its work correctly.
 pub fn fragment(
     kind: Kind,
     req_type: u8,
     req_num: u64,
     payload: &Bytes,
     mtu: usize,
+    trace: Option<TraceCtx>,
 ) -> Vec<Packet> {
     assert!(mtu > 0, "mtu must be positive");
     assert!(
@@ -191,6 +313,7 @@ pub fn fragment(
             pkt_idx: i as u16,
             num_pkts: num_pkts as u16,
             msg_len: payload.len() as u32,
+            trace,
         };
         out.push(Packet {
             head: hdr.encode_header(),
@@ -295,6 +418,7 @@ mod tests {
             pkt_idx: 0,
             num_pkts: 1,
             msg_len: 5,
+            trace: None,
         }
     }
 
@@ -306,6 +430,97 @@ mod tests {
         let (h2, frag) = Header::decode(&pkt).unwrap();
         assert_eq!(h, h2);
         assert_eq!(&frag[..], b"hello");
+    }
+
+    #[test]
+    fn traced_header_roundtrip_and_sizes() {
+        let ctx = TraceCtx {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99AA_BBCC_DDEE_FF00,
+        };
+        let mut h = hdr(Kind::Request);
+        h.trace = Some(ctx);
+        let head = h.encode_header();
+        assert_eq!(head.len(), HEADER_BYTES + TRACE_EXT_BYTES);
+        let pkt = h.encode(b"hello");
+        let (h2, frag) = Header::decode(&pkt).unwrap();
+        assert_eq!(h2.trace, Some(ctx));
+        assert_eq!(&frag[..], b"hello");
+        // Untraced headers keep the exact pre-extension encoding.
+        assert_eq!(hdr(Kind::Request).encode_header().len(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn traced_decode_split_stays_zero_copy() {
+        let payload = Bytes::from(vec![42u8; 300]);
+        let ctx = TraceCtx {
+            trace_id: 1,
+            span_id: 2,
+        };
+        for trace in [None, Some(ctx)] {
+            let pkts = fragment(Kind::Request, 1, 5, &payload, 4096, trace);
+            assert_eq!(pkts.len(), 1);
+            let (h, frag) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
+            assert_eq!(h.trace, trace);
+            // Zero-copy: the returned fragment is the body slice itself.
+            assert_eq!(frag.as_ptr(), pkts[0].body.as_ptr());
+        }
+    }
+
+    #[test]
+    fn trace_ext_decode_rejects_each_malformation() {
+        let ctx = TraceCtx {
+            trace_id: 7,
+            span_id: 8,
+        };
+        let mut good = BytesMut::new();
+        encode_trace_ext(ctx, &mut good);
+        assert_eq!(decode_trace_ext(&good), Ok((ctx, TRACE_EXT_BYTES)));
+
+        assert_eq!(decode_trace_ext(&[]), Err(TraceExtError::Truncated));
+        assert_eq!(
+            decode_trace_ext(&good[..TRACE_EXT_BYTES - 1]),
+            Err(TraceExtError::Truncated)
+        );
+        assert_eq!(decode_trace_ext(&[5]), Err(TraceExtError::TooManyFields));
+        let mut dup = vec![2u8];
+        for _ in 0..2 {
+            dup.push(1);
+            dup.extend_from_slice(&7u64.to_le_bytes());
+        }
+        assert_eq!(decode_trace_ext(&dup), Err(TraceExtError::DuplicateField));
+        let mut unknown = vec![1u8, 9u8];
+        unknown.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(decode_trace_ext(&unknown), Err(TraceExtError::UnknownField));
+        let mut missing = vec![1u8, 2u8];
+        missing.extend_from_slice(&8u64.to_le_bytes());
+        assert_eq!(decode_trace_ext(&missing), Err(TraceExtError::MissingField));
+
+        // A header advertising a malformed extension drops cleanly.
+        let mut h = hdr(Kind::Request);
+        h.trace = Some(ctx);
+        let mut raw = h.encode(b"x").to_vec();
+        raw[HEADER_BYTES] = 5; // corrupt the field count
+        assert!(Header::decode(&Bytes::from(raw)).is_none());
+        // Unknown flag bits are rejected outright.
+        let mut flags = hdr(Kind::Request).encode(b"x").to_vec();
+        flags[3] = 0x80;
+        assert!(Header::decode(&Bytes::from(flags)).is_none());
+    }
+
+    #[test]
+    fn trace_ctx_rides_every_fragment() {
+        let payload = Bytes::from(vec![9u8; 1000]);
+        let ctx = TraceCtx {
+            trace_id: 3,
+            span_id: 4,
+        };
+        let pkts = fragment(Kind::Request, 1, 5, &payload, 100, Some(ctx));
+        assert_eq!(pkts.len(), 10);
+        for p in &pkts {
+            let (h, _) = Header::decode_split(&p.head, &p.body).unwrap();
+            assert_eq!(h.trace, Some(ctx), "ctx survives on every fragment");
+        }
     }
 
     #[test]
@@ -326,7 +541,7 @@ mod tests {
 
     #[test]
     fn fragment_empty_payload_one_packet() {
-        let pkts = fragment(Kind::Request, 1, 9, &Bytes::new(), 100);
+        let pkts = fragment(Kind::Request, 1, 9, &Bytes::new(), 100, None);
         assert_eq!(pkts.len(), 1);
         let (h, frag) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
         assert_eq!(h.num_pkts, 1);
@@ -340,7 +555,7 @@ mod tests {
             .flat_map(|v| v.to_le_bytes())
             .collect::<Vec<u8>>()
             .into();
-        let pkts = fragment(Kind::Response, 2, 11, &payload, 4096);
+        let pkts = fragment(Kind::Response, 2, 11, &payload, 4096, None);
         assert_eq!(pkts.len(), 10); // 40_000 / 4096 = 9.7 -> 10
                                     // Reassemble out of order with a duplicate.
         let mut parsed: Vec<(Header, Bytes)> = pkts
@@ -363,7 +578,7 @@ mod tests {
     #[test]
     fn fragment_sizes_cover_payload_exactly() {
         let payload = Bytes::from(vec![7u8; 8192]);
-        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096, None);
         assert_eq!(pkts.len(), 2);
         for p in &pkts {
             assert_eq!(p.body.len(), 4096);
@@ -374,7 +589,7 @@ mod tests {
     #[test]
     fn fragment_bodies_share_payload_storage() {
         let payload = Bytes::from(vec![3u8; 10_000]);
-        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096, None);
         // Zero-copy: each body points into the original allocation.
         for (i, p) in pkts.iter().enumerate() {
             assert_eq!(p.body.as_ptr(), payload[i * 4096..].as_ptr());
@@ -384,7 +599,7 @@ mod tests {
     #[test]
     fn assemble_in_order_recovers_original_without_copy() {
         let payload = Bytes::from(vec![9u8; 20_000]);
-        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096);
+        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096, None);
         let parsed: Vec<(Header, Bytes)> = pkts
             .iter()
             .map(|p| Header::decode_split(&p.head, &p.body).unwrap())
@@ -405,7 +620,7 @@ mod tests {
         // Slots are indexed by pkt_idx, so arrival order doesn't matter for
         // the adjacency check.
         let payload = Bytes::from(vec![5u8; 12_000]);
-        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096);
+        let pkts = fragment(Kind::Response, 0, 5, &payload, 4096, None);
         let mut parsed: Vec<(Header, Bytes)> = pkts
             .iter()
             .map(|p| Header::decode_split(&p.head, &p.body).unwrap())
@@ -431,6 +646,7 @@ mod tests {
             pkt_idx: idx,
             num_pkts: 2,
             msg_len: 8,
+            trace: None,
         };
         let mut r = Reassembly::new(&h(0), Bytes::from(vec![1u8; 4]));
         assert!(r.offer(&h(1), Bytes::from(vec![2u8; 4])));
@@ -440,7 +656,7 @@ mod tests {
     #[test]
     fn offer_rejects_mismatched_metadata() {
         let payload = Bytes::from(vec![7u8; 8192]);
-        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 4096, None);
         let (h0, f0) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
         let mut r = Reassembly::new(&h0, f0);
 
@@ -487,7 +703,7 @@ mod tests {
     #[should_panic(expected = "incomplete")]
     fn assemble_incomplete_panics() {
         let payload = Bytes::from(vec![1u8; 100]);
-        let pkts = fragment(Kind::Request, 0, 1, &payload, 10);
+        let pkts = fragment(Kind::Request, 0, 1, &payload, 10, None);
         let (h, f) = Header::decode_split(&pkts[0].head, &pkts[0].body).unwrap();
         let r = Reassembly::new(&h, f);
         let _ = r.assemble();

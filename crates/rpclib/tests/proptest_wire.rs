@@ -1,9 +1,14 @@
 //! Property tests for the RPC wire layer: fragmentation/reassembly is the
-//! identity for every payload, under any delivery order, with duplicates.
+//! identity for every payload, under any delivery order, with duplicates —
+//! and header/trace-extension decoding is total over hostile input.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
-use rpclib::wire::{fragment, Header, Kind, Reassembly};
+use rpclib::wire::{
+    decode_trace_ext, encode_trace_ext, fragment, Header, Kind, Reassembly, TraceExtError,
+    TRACE_EXT_BYTES,
+};
+use telemetry::TraceCtx;
 
 proptest! {
     #[test]
@@ -16,7 +21,7 @@ proptest! {
         dup_mask in proptest::collection::vec(any::<bool>(), 0..64),
     ) {
         let payload = Bytes::from(payload);
-        let pkts = fragment(Kind::Request, req_type, req_num, &payload, mtu);
+        let pkts = fragment(Kind::Request, req_type, req_num, &payload, mtu, None);
         prop_assert_eq!(pkts.len(), payload.len().div_ceil(mtu).max(1));
 
         // Parse and shuffle deterministically.
@@ -63,7 +68,7 @@ proptest! {
         let payloads: Vec<Bytes> = payloads.into_iter().map(Bytes::from).collect();
         let mut wire: Vec<(Header, Bytes)> = Vec::new();
         for (sender, payload) in payloads.iter().enumerate() {
-            for p in fragment(Kind::Request, req_type, sender as u64, payload, mtu) {
+            for p in fragment(Kind::Request, req_type, sender as u64, payload, mtu, None) {
                 wire.push(Header::decode_split(&p.head, &p.body).expect("own packets decode"));
             }
         }
@@ -112,6 +117,9 @@ proptest! {
         req_type in any::<u8>(),
         num_pkts in 1u16..u16::MAX,
         msg_len in any::<u32>(),
+        traced in any::<bool>(),
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
         frag in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let pkt_idx = num_pkts - 1;
@@ -122,10 +130,106 @@ proptest! {
             pkt_idx,
             num_pkts,
             msg_len,
+            trace: traced.then_some(TraceCtx { trace_id, span_id }),
         };
         let enc = h.encode(&frag);
         let (h2, f2) = Header::decode(&enc).expect("valid header decodes");
         prop_assert_eq!(h, h2);
         prop_assert_eq!(&f2[..], &frag[..]);
+    }
+
+    /// Trace-extension decode is total: arbitrary bytes yield `Ok` or a
+    /// typed error, never a panic.
+    #[test]
+    fn trace_ext_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_trace_ext(&bytes);
+    }
+
+    /// Every strict prefix of a valid extension is `Truncated` — a hostile
+    /// sender cannot make us read past the buffer.
+    #[test]
+    fn trace_ext_truncation_is_typed(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        cut in 0usize..TRACE_EXT_BYTES,
+    ) {
+        let mut b = BytesMut::new();
+        encode_trace_ext(TraceCtx { trace_id, span_id }, &mut b);
+        prop_assert_eq!(b.len(), TRACE_EXT_BYTES);
+        match decode_trace_ext(&b[..cut]) {
+            Err(TraceExtError::Truncated) => {}
+            // A cut after a complete field set but before the end cannot
+            // happen for the 2-field encoding; anything else is a bug.
+            other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+
+    /// An inflated field count is rejected up front (`TooManyFields`), no
+    /// matter what bytes follow.
+    #[test]
+    fn trace_ext_oversized_is_typed(
+        n in 5u8..=u8::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut b = vec![n];
+        b.extend_from_slice(&tail);
+        prop_assert_eq!(decode_trace_ext(&b), Err(TraceExtError::TooManyFields));
+    }
+
+    /// A repeated field id is rejected as `DuplicateField`.
+    #[test]
+    fn trace_ext_duplicate_is_typed(
+        id in 1u8..=2,
+        v1 in any::<u64>(),
+        v2 in any::<u64>(),
+    ) {
+        let mut b = vec![2u8];
+        b.push(id);
+        b.extend_from_slice(&v1.to_le_bytes());
+        b.push(id);
+        b.extend_from_slice(&v2.to_le_bytes());
+        prop_assert_eq!(decode_trace_ext(&b), Err(TraceExtError::DuplicateField));
+    }
+
+    /// Unknown field ids and missing required fields yield their typed
+    /// errors.
+    #[test]
+    fn trace_ext_unknown_and_missing_are_typed(
+        bad_id in 3u8..=u8::MAX,
+        v in any::<u64>(),
+    ) {
+        let mut b = vec![1u8, bad_id];
+        b.extend_from_slice(&v.to_le_bytes());
+        prop_assert_eq!(decode_trace_ext(&b), Err(TraceExtError::UnknownField));
+
+        let mut only_trace = vec![1u8, 1u8];
+        only_trace.extend_from_slice(&v.to_le_bytes());
+        prop_assert_eq!(decode_trace_ext(&only_trace), Err(TraceExtError::MissingField));
+    }
+
+    /// A corrupted traced header never panics the full decode path, and a
+    /// clean one round-trips through the zero-copy split decoder.
+    #[test]
+    fn traced_header_decode_total(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        flip_at in 0usize..39,
+        flip_bits in 1u8..=u8::MAX,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let ctx = TraceCtx { trace_id, span_id };
+        let pkts = fragment(Kind::Request, 7, 99, &Bytes::from(body.clone()), 4096, Some(ctx));
+        prop_assert_eq!(pkts.len(), 1);
+        let (h, f) = Header::decode_split(&pkts[0].head, &pkts[0].body)
+            .expect("traced packet decodes");
+        prop_assert_eq!(h.trace, Some(ctx));
+        prop_assert_eq!(&f[..], &body[..]);
+
+        // Flip bits anywhere in the 39-byte traced header: decode must
+        // return (possibly garbage) Ok or None, never panic.
+        let mut corrupt = pkts[0].head.to_vec();
+        let at = flip_at % corrupt.len();
+        corrupt[at] ^= flip_bits;
+        let _ = Header::decode_split(&Bytes::from(corrupt), &pkts[0].body);
     }
 }

@@ -12,7 +12,7 @@
 //! OS-thread nondeterminism anywhere. Two runs of the same simulation produce
 //! bit-identical results.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
@@ -105,6 +105,10 @@ struct State {
 
 pub(crate) struct Inner {
     state: RefCell<State>,
+    /// The task whose future is currently being polled (if any). Kept
+    /// outside `state` so it stays readable while the poll holds the
+    /// future out of the slab.
+    current: Cell<Option<TaskId>>,
 }
 
 impl Inner {
@@ -297,6 +301,7 @@ impl Sim {
                     running: false,
                     polls: 0,
                 }),
+                current: Cell::new(None),
             }),
         }
     }
@@ -466,7 +471,11 @@ impl Sim {
         };
 
         let mut cx = Context::from_waker(&waker);
+        // Published so `current_task()` can identify the polling task; a
+        // nested `Sim` run inside a poll saves and restores it.
+        let prev = self.inner.current.replace(Some(id));
         let poll = fut.as_mut().poll(&mut cx);
+        self.inner.current.set(prev);
 
         let mut st = self.inner.state.borrow_mut();
         match poll {
@@ -561,6 +570,21 @@ impl<T> Future for JoinHandle<T> {
 /// while a `Sim` run loop is on the stack).
 pub fn now() -> SimTime {
     current_inner().now()
+}
+
+/// Current virtual time, or `None` when no simulation run loop is on the
+/// stack. Unlike [`now`], never panics — for instrumentation that may run
+/// during teardown.
+pub fn try_now() -> Option<SimTime> {
+    CURRENT.with(|c| c.borrow().last().map(|inner| inner.now()))
+}
+
+/// Identity of the task currently being polled, or `None` when called
+/// outside a task poll (including outside any simulation). Unlike
+/// [`now`], this never panics, so instrumentation layers can call it
+/// unconditionally.
+pub fn current_task() -> Option<TaskId> {
+    CURRENT.with(|c| c.borrow().last().and_then(|inner| inner.current.get()))
 }
 
 /// Spawn a task onto the current simulation.
@@ -787,6 +811,28 @@ mod tests {
     fn block_on_deadlock_panics() {
         let sim = Sim::new();
         sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn current_task_identifies_the_polling_task() {
+        assert_eq!(current_task(), None, "outside any simulation");
+        let sim = Sim::new();
+        let ids: Rc<RefCell<Vec<Option<TaskId>>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let ids = ids.clone();
+            sim.spawn(async move {
+                let before = current_task();
+                sleep(Duration::from_nanos(1)).await;
+                assert_eq!(current_task(), before, "stable across suspension");
+                ids.borrow_mut().push(before);
+            });
+        }
+        sim.run();
+        let ids = ids.borrow();
+        assert_eq!(ids.len(), 2);
+        assert!(ids[0].is_some() && ids[1].is_some());
+        assert_ne!(ids[0], ids[1], "distinct tasks get distinct identities");
+        assert_eq!(current_task(), None, "cleared after the run loop");
     }
 
     #[test]

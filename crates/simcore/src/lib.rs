@@ -47,7 +47,9 @@ pub mod sync;
 pub mod time;
 mod timeutil;
 
-pub use executor::{now, sleep, sleep_until, spawn, yield_now, JoinHandle, Sim, TaskId};
+pub use executor::{
+    current_task, now, sleep, sleep_until, spawn, try_now, yield_now, JoinHandle, Sim, TaskId,
+};
 pub use resource::{CpuPool, RateResource};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Counter, Histogram};

@@ -21,10 +21,12 @@ impl Counter {
         Counter::default()
     }
 
-    /// Add `n`.
+    /// Add `n`. Saturates at `u64::MAX` rather than wrapping: a pegged
+    /// counter is obviously wrong in a report, a silently wrapped one is
+    /// quietly wrong.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.v.set(self.v.get().wrapping_add(n));
+        self.v.set(self.v.get().saturating_add(n));
     }
 
     /// Increment by one.
@@ -98,13 +100,20 @@ impl Histogram {
         (bucket, shifted - SUB_BUCKETS)
     }
 
-    /// Upper edge of the sub-bucket (so quantiles are conservative upper
-    /// bounds on the true value).
+    /// Upper edge of the sub-bucket (the largest value it can hold).
     fn value_at(bucket: usize, sub: usize) -> u64 {
         if bucket == 0 {
             return sub as u64;
         }
         (((sub + SUB_BUCKETS + 1) as u64) << (bucket - 1)) - 1
+    }
+
+    /// Lower edge of the sub-bucket (the smallest value it can hold).
+    fn lower_edge(bucket: usize, sub: usize) -> u64 {
+        if bucket == 0 {
+            return sub as u64;
+        }
+        ((sub + SUB_BUCKETS) as u64) << (bucket - 1)
     }
 
     /// Record one value.
@@ -148,8 +157,11 @@ impl Histogram {
         self.inner.borrow().max
     }
 
-    /// Quantile `q` in [0, 1]; returns an upper bound on the true quantile
-    /// with relative error bounded by the sub-bucket resolution (~1.6%).
+    /// Quantile `q` in [0, 1], linearly interpolated inside the resolved
+    /// sub-bucket by rank, so the estimate tracks where the target rank
+    /// falls between the bucket's edges instead of snapping to its upper
+    /// edge. Absolute error is bounded by one sub-bucket width (~1.6%
+    /// relative, two-sided).
     pub fn quantile(&self, q: f64) -> u64 {
         let h = self.inner.borrow();
         if h.count == 0 {
@@ -162,11 +174,46 @@ impl Histogram {
             for (s, &c) in bucket.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    return Self::value_at(b, s).min(h.max);
+                    let low = Self::lower_edge(b, s);
+                    let up = Self::value_at(b, s);
+                    // 1-based rank of the target within this sub-bucket.
+                    let pos = target - (seen - c);
+                    let est = low + (((up - low) as u128 * pos as u128) / c as u128) as u64;
+                    return est.clamp(h.min, h.max);
                 }
             }
         }
         h.max
+    }
+
+    /// Fold `other`'s recorded values into `self` (e.g. aggregating
+    /// per-node latency distributions into a cluster-wide percentile).
+    /// Bucket-wise addition: the result is identical to having recorded
+    /// every value into one histogram. `other` is left untouched.
+    pub fn merge(&self, other: &Histogram) {
+        if Rc::ptr_eq(&self.inner, &other.inner) {
+            // Merging a histogram into itself doubles every count.
+            let mut h = self.inner.borrow_mut();
+            for bucket in h.buckets.iter_mut() {
+                for c in bucket.iter_mut() {
+                    *c = c.saturating_mul(2);
+                }
+            }
+            h.count = h.count.saturating_mul(2);
+            h.sum = h.sum.saturating_mul(2);
+            return;
+        }
+        let o = other.inner.borrow();
+        let mut h = self.inner.borrow_mut();
+        for (dst, src) in h.buckets.iter_mut().zip(o.buckets.iter()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = d.saturating_add(*s);
+            }
+        }
+        h.count = h.count.saturating_add(o.count);
+        h.sum = h.sum.saturating_add(o.sum);
+        h.min = h.min.min(o.min);
+        h.max = h.max.max(o.max);
     }
 
     /// Shorthand for common percentiles.
@@ -296,6 +343,87 @@ mod tests {
         h.record(7);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX, "overflow pegs at MAX, never wraps");
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [3u64, 100, 5_000, 1 << 33] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [7u64, 100, 999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.mean(), all.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_and_self() {
+        let h = Histogram::new();
+        h.record(42);
+        h.merge(&Histogram::new());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), 42);
+        // A clone shares storage with the original: merging it is a
+        // self-merge and must not deadlock on the RefCell.
+        let alias = h.clone();
+        h.merge(&alias);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 42.0);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_sub_bucket() {
+        // 1000 and 1007 share one sub-bucket (bucket 4, width 8): low
+        // ranks must resolve near the lower edge, high ranks near the
+        // upper edge, instead of everything snapping to the upper edge.
+        let (b, s) = Histogram::index(1000);
+        assert_eq!((b, s), Histogram::index(1007));
+        let low = Histogram::lower_edge(b, s);
+        let up = Histogram::value_at(b, s);
+        assert_eq!((low, up), (1000, 1007));
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1000);
+            h.record(1007);
+        }
+        for q in [0.01, 0.5, 1.0] {
+            let est = h.quantile(q);
+            assert!(
+                (low..=up).contains(&est),
+                "q={q}: est {est} outside [{low}, {up}]"
+            );
+        }
+        assert_eq!(h.quantile(0.01), 1000, "first rank sits at the low edge");
+        assert_eq!(h.quantile(1.0), 1007, "last rank sits at the high edge");
+        // A single-valued distribution is reported exactly at any rank.
+        let one = Histogram::new();
+        for _ in 0..100 {
+            one.record(1003);
+        }
+        assert_eq!(one.quantile(0.01), 1003);
+        assert_eq!(one.quantile(0.99), 1003);
     }
 
     #[test]

@@ -8,8 +8,10 @@ use std::time::Duration;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Histogram quantiles are conservative (>= true quantile) and within
-    /// the documented ~1.6% + 1 relative error bound.
+    /// Histogram quantiles are within the documented ~1.6% + 1 relative
+    /// error bound of the true quantile (two-sided: interpolation inside
+    /// the resolved sub-bucket can land on either side of the truth, but
+    /// never outside the sub-bucket that holds it).
     #[test]
     fn histogram_quantile_error_bound(
         mut values in proptest::collection::vec(0u64..10_000_000_000, 10..500),
@@ -24,10 +26,9 @@ proptest! {
             let est = h.quantile(q);
             let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
             let truth = values[rank - 1];
-            prop_assert!(est >= truth, "quantile({q}) = {est} < true {truth}");
             let bound = truth as f64 / 32.0 + 1.0;
             prop_assert!(
-                (est - truth) as f64 <= bound,
+                (est as f64 - truth as f64).abs() <= bound,
                 "quantile({q}) = {est}, true {truth}, off by more than {bound}"
             );
         }
@@ -36,6 +37,36 @@ proptest! {
         prop_assert!((h.mean() - mean_true).abs() < 1e-6 * mean_true.max(1.0));
         prop_assert_eq!(h.min(), values[0]);
         prop_assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    /// Merging per-node histograms is equivalent to recording every value
+    /// into a single histogram: identical counts, extrema, mean, and
+    /// quantiles at any rank.
+    #[test]
+    fn histogram_merge_equals_sequential_record(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000_000, 0..200),
+            1..6,
+        ),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let merged = Histogram::new();
+        let sequential = Histogram::new();
+        for part in &parts {
+            let node = Histogram::new();
+            for &v in part {
+                node.record(v);
+                sequential.record(v);
+            }
+            merged.merge(&node);
+        }
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.min(), sequential.min());
+        prop_assert_eq!(merged.max(), sequential.max());
+        prop_assert_eq!(merged.mean(), sequential.mean());
+        for q in qs {
+            prop_assert_eq!(merged.quantile(q), sequential.quantile(q), "q = {}", q);
+        }
     }
 
     /// Sleeps complete in exactly deadline order regardless of spawn order.

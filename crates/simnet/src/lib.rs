@@ -28,6 +28,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use simcore::sync::mpsc;
 use simcore::{Counter, RateResource, SimRng};
+use telemetry::SpanKind;
 
 pub use faults::GilbertElliott;
 use faults::{FaultPlane, Verdict};
@@ -465,6 +466,15 @@ impl Network {
     /// (preserving per-sender FIFO order) and spawns the delivery pipeline.
     fn send(&self, dgram: Datagram) {
         let wire_size = dgram.payload.len() as u64 + WIRE_HEADER_BYTES;
+        // Captured in the sender's task (where any trace context lives) and
+        // moved into the delivery pipeline, so one hop span covers tx NIC
+        // occupancy, switch latency, and rx NIC occupancy. Untraced sends
+        // cost one thread-local flag read.
+        let mut hop = telemetry::leaf_span(SpanKind::NetHop, "net.hop", dgram.src.node.0);
+        if let Some(s) = hop.as_mut() {
+            s.attr("wire_bytes", wire_size);
+            s.attr("dst_node", dgram.dst.node.0 as u64);
+        }
         let tx_done = {
             let nodes = self.inner.nodes.borrow();
             nodes[dgram.src.node.0 as usize].tx.reserve(wire_size)
@@ -491,10 +501,16 @@ impl Network {
                 match verdict {
                     Verdict::DropLoss => {
                         net.inner.dropped_loss.incr();
+                        if let Some(mut s) = hop {
+                            s.attr("dropped", 1);
+                        }
                         return;
                     }
                     Verdict::DropPartition => {
                         net.inner.dropped_partition.incr();
+                        if let Some(mut s) = hop {
+                            s.attr("dropped", 1);
+                        }
                         return;
                     }
                     Verdict::Deliver {

@@ -1,0 +1,136 @@
+//! Critical-path latency breakdown.
+//!
+//! Attributes every instant of a traced request's end-to-end latency to
+//! exactly one [`Category`] by a *deepest-span-wins* timeline sweep: the
+//! root covers the whole window, and at each instant the most deeply
+//! nested span covering it claims the time. Because every instant has
+//! exactly one winner, the per-category sums equal the end-to-end latency
+//! by construction — the property the breakdown CSV's self-check relies
+//! on.
+
+use std::collections::HashMap;
+
+use crate::span::{Category, SpanRecord};
+
+/// Per-category attribution of one (or several averaged) traced requests.
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    /// End-to-end nanoseconds (root span duration).
+    pub total_ns: u64,
+    /// Nanoseconds per category, indexed per [`Category::ALL`].
+    pub by_category: [u64; Category::COUNT],
+}
+
+impl Breakdown {
+    /// Sum of all category buckets (equals `total_ns` for a single trace).
+    pub fn category_sum(&self) -> u64 {
+        self.by_category.iter().sum()
+    }
+
+    /// Nanoseconds attributed to `c`.
+    pub fn get(&self, c: Category) -> u64 {
+        self.by_category[c.index()]
+    }
+}
+
+/// Trace roots (spans with no parent) among `records`.
+pub fn roots(records: &[SpanRecord]) -> Vec<&SpanRecord> {
+    records.iter().filter(|r| r.parent_id == 0).collect()
+}
+
+/// Analyze the trace identified by `trace_id`. Returns `None` when the
+/// records contain no root span for it (e.g. it was overwritten in the
+/// flight-recorder ring).
+pub fn analyze_trace(records: &[SpanRecord], trace_id: u64) -> Option<Breakdown> {
+    let spans: Vec<&SpanRecord> = records.iter().filter(|r| r.trace_id == trace_id).collect();
+    let root = *spans.iter().find(|r| r.parent_id == 0)?;
+    let (lo, hi) = (root.start.nanos(), root.end.nanos());
+
+    // Depth of each span (root = 0) via memoized parent-chain walks.
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|r| (r.span_id, *r)).collect();
+    let mut depth: HashMap<u64, u32> = HashMap::new();
+    depth.insert(root.span_id, 0);
+    for r in &spans {
+        depth_of(r.span_id, &by_id, &mut depth);
+    }
+
+    // Clip spans to the root window and drop zero-width events.
+    struct Clipped {
+        start: u64,
+        end: u64,
+        depth: u32,
+        span_id: u64,
+        cat: Category,
+    }
+    let mut clipped: Vec<Clipped> = Vec::with_capacity(spans.len());
+    for r in &spans {
+        let s = r.start.nanos().clamp(lo, hi);
+        let e = r.end.nanos().clamp(lo, hi);
+        if e > s {
+            clipped.push(Clipped {
+                start: s,
+                end: e,
+                depth: depth[&r.span_id],
+                span_id: r.span_id,
+                cat: r.kind.category(),
+            });
+        }
+    }
+
+    // Timeline sweep over the span boundaries.
+    let mut points: Vec<u64> = clipped.iter().flat_map(|c| [c.start, c.end]).collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut out = Breakdown {
+        total_ns: hi - lo,
+        by_category: [0; Category::COUNT],
+    };
+    for w in points.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // Deepest covering span wins; ties broken by latest start, then
+        // span id, so attribution is deterministic.
+        let winner = clipped
+            .iter()
+            .filter(|c| c.start <= a && c.end >= b)
+            .max_by_key(|c| (c.depth, c.start, c.span_id));
+        if let Some(win) = winner {
+            out.by_category[win.cat.index()] += b - a;
+        }
+    }
+    Some(out)
+}
+
+fn depth_of(id: u64, by_id: &HashMap<u64, &SpanRecord>, memo: &mut HashMap<u64, u32>) -> u32 {
+    if let Some(&d) = memo.get(&id) {
+        return d;
+    }
+    // An orphan (parent not in the record set, e.g. overwritten) counts as
+    // depth 1 so it still out-ranks the root. The chain is acyclic (ids
+    // are unique draws), so recursion terminates.
+    let d = match by_id.get(&id) {
+        Some(r) if r.parent_id != 0 && by_id.contains_key(&r.parent_id) => {
+            1 + depth_of(r.parent_id, by_id, memo)
+        }
+        Some(r) if r.parent_id != 0 => 1,
+        _ => 0,
+    };
+    memo.insert(id, d);
+    d
+}
+
+/// Average several breakdowns (integer division per bucket; used for the
+/// per-system rows of the breakdown CSV).
+pub fn average(items: &[Breakdown]) -> Breakdown {
+    if items.is_empty() {
+        return Breakdown::default();
+    }
+    let n = items.len() as u64;
+    let mut out = Breakdown {
+        total_ns: items.iter().map(|b| b.total_ns).sum::<u64>() / n,
+        ..Breakdown::default()
+    };
+    for i in 0..Category::COUNT {
+        out.by_category[i] = items.iter().map(|b| b.by_category[i]).sum::<u64>() / n;
+    }
+    out
+}

@@ -1,0 +1,158 @@
+//! The metrics registry: stable hierarchical names over the stack's
+//! existing counters and histograms.
+//!
+//! Counters and histograms are `Rc`-shared, so registering a clone wires
+//! the live metric — the registry reads current values at snapshot time.
+//! Sources that only expose getter methods register as gauges (closures).
+//! Names are dot-separated paths (`dmnet.cache.hits`,
+//! `node.3.rpc.retransmits`); a `BTreeMap` keeps every dump and snapshot
+//! in one stable order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use simcore::{Counter, Histogram};
+
+/// A registered metric.
+#[derive(Clone)]
+pub enum Metric {
+    /// A live shared counter.
+    Counter(Counter),
+    /// A live shared histogram.
+    Histogram(Histogram),
+    /// A derived value read through a closure at snapshot time.
+    Gauge(Rc<dyn Fn() -> u64>),
+}
+
+/// Per-node (or per-cluster) metrics registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    metrics: Rc<std::cell::RefCell<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a live counter under `name` (replaces any previous entry).
+    pub fn register_counter(&self, name: impl Into<String>, c: &Counter) {
+        self.metrics
+            .borrow_mut()
+            .insert(name.into(), Metric::Counter(c.clone()));
+    }
+
+    /// Register a live histogram under `name`.
+    pub fn register_histogram(&self, name: impl Into<String>, h: &Histogram) {
+        self.metrics
+            .borrow_mut()
+            .insert(name.into(), Metric::Histogram(h.clone()));
+    }
+
+    /// Register a derived gauge under `name`.
+    pub fn register_gauge(&self, name: impl Into<String>, f: impl Fn() -> u64 + 'static) {
+        self.metrics
+            .borrow_mut()
+            .insert(name.into(), Metric::Gauge(Rc::new(f)));
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics.borrow().keys().cloned().collect()
+    }
+
+    /// Read one metric's scalar value (histograms report their count).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.metrics.borrow().get(name).map(|m| match m {
+            Metric::Counter(c) => c.get(),
+            Metric::Histogram(h) => h.count(),
+            Metric::Gauge(f) => f(),
+        })
+    }
+
+    /// Merge every registered histogram whose name ends with `suffix`
+    /// into one distribution — cross-node percentile aggregation (e.g.
+    /// suffix `"rpc.handler_ns"` over `node.<i>.rpc.handler_ns`).
+    pub fn merged_histogram(&self, suffix: &str) -> Histogram {
+        let merged = Histogram::new();
+        for (name, m) in self.metrics.borrow().iter() {
+            if let Metric::Histogram(h) = m {
+                if name.ends_with(suffix) {
+                    merged.merge(h);
+                }
+            }
+        }
+        merged
+    }
+
+    /// Capture all current values. Histograms expand to `.count`, `.p50`,
+    /// `.p99`, and `.max` keys.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, m) in self.metrics.borrow().iter() {
+            match m {
+                Metric::Counter(c) => {
+                    values.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(f) => {
+                    values.insert(name.clone(), f());
+                }
+                Metric::Histogram(h) => {
+                    values.insert(format!("{name}.count"), h.count());
+                    values.insert(format!("{name}.p50"), h.p50());
+                    values.insert(format!("{name}.p99"), h.p99());
+                    values.insert(format!("{name}.max"), h.max());
+                }
+            }
+        }
+        Snapshot { values }
+    }
+
+    /// One-line-per-metric dump of a fresh snapshot (the shared dump path
+    /// for bench binaries).
+    pub fn dump(&self) -> String {
+        self.snapshot().dump()
+    }
+}
+
+/// Point-in-time metric values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Value by (expanded) name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// All `(name, value)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Per-key saturating difference `self - earlier` (keys only in one
+    /// snapshot keep their lone value).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut values = self.values.clone();
+        for (k, v) in values.iter_mut() {
+            *v = v.saturating_sub(earlier.get(k).unwrap_or(0));
+        }
+        for (k, &v) in &earlier.values {
+            values.entry(k.clone()).or_insert(v);
+        }
+        Snapshot { values }
+    }
+
+    /// `name value` lines, sorted by name.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            let _ = writeln!(out, "{k} {v}");
+        }
+        out
+    }
+}

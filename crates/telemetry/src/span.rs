@@ -1,0 +1,173 @@
+//! Span records and trace identifiers.
+//!
+//! A trace is a causal tree of spans identified by a shared `trace_id`;
+//! each span carries its own `span_id` and its parent's (0 for the root).
+//! Records are fixed-size `Copy` structs so the flight recorder can store
+//! them in a preallocated ring with no per-span allocation.
+
+use simcore::SimTime;
+
+/// Trace context: the pair carried across task and wire boundaries.
+///
+/// `span_id` names the span that is the *parent* of whatever work the
+/// context is handed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceCtx {
+    /// Identifier shared by every span of one causal tree.
+    pub trace_id: u64,
+    /// The current (parenting) span.
+    pub span_id: u64,
+}
+
+/// What a span measures. The kind determines the latency-breakdown
+/// [`Category`] its exclusive time is attributed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// Root of one end-to-end application request.
+    Request,
+    /// Client side of one RPC call, from first transmit to response.
+    ClientCall,
+    /// (De)serialization / marshalling CPU and memory charges.
+    Serialize,
+    /// One packet's traversal of the simulated fabric (NIC → switch → NIC).
+    NetHop,
+    /// Server-side execution of one RPC handler.
+    ServerHandle,
+    /// One disaggregated-memory control operation (alloc/map/read/...).
+    DmOp,
+    /// Copy-on-write page duplication.
+    Cow,
+    /// Application-level memory-model charge (streaming/aggregation).
+    MemCharge,
+    /// Instant: a client-side retransmission fired.
+    Retry,
+    /// Instant: a DM server reclaimed an expired lease's pins.
+    LeaseReclaim,
+}
+
+/// Latency-breakdown categories (the paper-§V decomposition).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Category {
+    /// Marshalling and per-message CPU.
+    Serialize,
+    /// Credit waits, pacing, response waits not covered by deeper spans.
+    Queueing,
+    /// Wire time: NIC serialization + switch latency.
+    Transport,
+    /// DM control-plane operations.
+    DmControl,
+    /// Copy-on-write page copies.
+    CowCopy,
+    /// Memory-model charges (streaming, aggregation).
+    Mem,
+    /// Application logic and anything not otherwise attributed.
+    Other,
+}
+
+impl Category {
+    /// All categories, in stable report order.
+    pub const ALL: [Category; 7] = [
+        Category::Serialize,
+        Category::Queueing,
+        Category::Transport,
+        Category::DmControl,
+        Category::CowCopy,
+        Category::Mem,
+        Category::Other,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case label (CSV column name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Serialize => "serialize",
+            Category::Queueing => "queueing",
+            Category::Transport => "transport",
+            Category::DmControl => "dm_control",
+            Category::CowCopy => "cow_copy",
+            Category::Mem => "mem",
+            Category::Other => "other",
+        }
+    }
+
+    /// Index into [`Category::ALL`]-ordered arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+    }
+}
+
+impl SpanKind {
+    /// The category this kind's exclusive time is attributed to.
+    pub fn category(self) -> Category {
+        match self {
+            SpanKind::Request => Category::Other,
+            SpanKind::ClientCall => Category::Queueing,
+            SpanKind::Serialize => Category::Serialize,
+            SpanKind::NetHop => Category::Transport,
+            SpanKind::ServerHandle => Category::Other,
+            SpanKind::DmOp => Category::DmControl,
+            SpanKind::Cow => Category::CowCopy,
+            SpanKind::MemCharge => Category::Mem,
+            SpanKind::Retry => Category::Queueing,
+            SpanKind::LeaseReclaim => Category::DmControl,
+        }
+    }
+
+    /// Stable label (the Chrome-trace `cat` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::ClientCall => "client_call",
+            SpanKind::Serialize => "serialize",
+            SpanKind::NetHop => "net_hop",
+            SpanKind::ServerHandle => "server_handle",
+            SpanKind::DmOp => "dm_op",
+            SpanKind::Cow => "cow",
+            SpanKind::MemCharge => "mem_charge",
+            SpanKind::Retry => "retry",
+            SpanKind::LeaseReclaim => "lease_reclaim",
+        }
+    }
+}
+
+/// Maximum typed attributes per span (fixed so records stay `Copy`).
+pub const MAX_ATTRS: usize = 6;
+
+/// One finished span, as stored in the flight recorder.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRecord {
+    /// Causal-tree identifier.
+    pub trace_id: u64,
+    /// This span.
+    pub span_id: u64,
+    /// Parent span, 0 for a trace root.
+    pub parent_id: u64,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Human-readable operation name (`"rpc.call"`, ...).
+    pub name: &'static str,
+    /// Node the span executed on.
+    pub node: u32,
+    /// Start instant (virtual time).
+    pub start: SimTime,
+    /// End instant; equals `start` for instant events.
+    pub end: SimTime,
+    /// Typed attributes; only the first `n_attrs` entries are valid.
+    pub attrs: [(&'static str, u64); MAX_ATTRS],
+    /// Number of valid attributes.
+    pub n_attrs: u8,
+}
+
+impl SpanRecord {
+    /// Duration in nanoseconds.
+    pub fn dur_nanos(&self) -> u64 {
+        self.end.nanos().saturating_sub(self.start.nanos())
+    }
+
+    /// The valid attribute slice.
+    pub fn attrs(&self) -> &[(&'static str, u64)] {
+        &self.attrs[..self.n_attrs as usize]
+    }
+}
