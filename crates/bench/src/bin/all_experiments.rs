@@ -2,7 +2,8 @@
 //! ablations. CSVs land in `results/`.
 fn main() {
     let t0 = std::time::Instant::now();
-    println!("# DmRPC reproduction — full evaluation");
+    let threads = bench::pool::sim_threads();
+    println!("# DmRPC reproduction — full evaluation (SIM_THREADS={threads})");
     bench::table1::run();
     bench::fig5::run();
     bench::fig6::run();

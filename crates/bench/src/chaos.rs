@@ -592,48 +592,27 @@ pub fn sweep(seeds: std::ops::Range<u64>, determinism_stride: u64) -> SweepOutco
     )
 }
 
-/// [`sweep`], parallelized across `threads` OS threads. Seeds are assigned
-/// round-robin (seed *i* → thread *i* mod `threads`) and every case builds
-/// its own thread-local [`Sim`], so nothing is shared between workers;
-/// merging in ascending seed order makes the outcome — per-seed
-/// fingerprints included — byte-identical to the serial sweep.
+/// [`sweep`], parallelized across `threads` OS threads via the shared
+/// [`crate::pool::scoped_map`] idiom (seed *i* → thread *i* mod
+/// `threads`). Every case builds its own thread-local [`Sim`], so nothing
+/// is shared between workers; the pool returns results in ascending seed
+/// order, making the outcome — per-seed fingerprints included —
+/// byte-identical to the serial sweep.
 pub fn sweep_parallel(
     seeds: std::ops::Range<u64>,
     determinism_stride: u64,
     threads: usize,
 ) -> SweepOutcome {
     let all: Vec<u64> = seeds.collect();
-    let threads = threads.clamp(1, all.len().max(1));
-    let mut per_seed: Vec<(u64, SeedResults)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let mine: Vec<u64> = all.iter().copied().skip(t).step_by(threads).collect();
-            handles.push(scope.spawn(move || {
-                mine.into_iter()
-                    .map(|seed| (seed, run_seed(seed, determinism_stride)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("chaos worker panicked"))
-            .collect()
-    });
-    per_seed.sort_by_key(|&(seed, _)| seed);
-    merge_seeds(per_seed.into_iter().map(|(_, r)| r).collect())
+    merge_seeds(crate::pool::scoped_map(all.len(), threads, |i| {
+        run_seed(all[i], determinism_stride)
+    }))
 }
 
 /// Threads used by [`run`]: `CHAOS_THREADS` env override, else the
 /// machine's available parallelism.
 fn default_threads() -> usize {
-    std::env::var("CHAOS_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    crate::pool::chaos_threads()
 }
 
 /// Run the full sweep (parallel across OS threads) and print the report;

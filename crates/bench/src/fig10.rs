@@ -60,8 +60,22 @@ pub fn run_point(kind: SystemKind, size: usize, workers: usize) -> apps::Measure
     })
 }
 
-/// Run the experiment and emit the two CSVs.
+/// Run the experiment and emit the two CSVs. Measurement cells are
+/// independent simulations, so they fan out across `SIM_THREADS` workers
+/// (default 1); rows are assembled in sweep order, so the CSVs are
+/// byte-identical at every thread count.
 pub fn run() {
+    let threads = crate::pool::sim_threads();
+    let cells: Vec<(usize, SystemKind)> = SIZES
+        .iter()
+        .flat_map(|&size| SystemKind::ALL.into_iter().map(move |kind| (size, kind)))
+        .collect();
+    let measured = crate::pool::scoped_map(cells.len(), threads, |i| {
+        let (size, kind) = cells[i];
+        let m = run_point(kind, size, 64);
+        (m.throughput_rps(), m.throughput_gbps(size as u64))
+    });
+
     let mut ta = Table::new(
         "fig10a_image_throughput",
         &["image_size", "system", "throughput_krps", "throughput_gbps"],
@@ -71,35 +85,33 @@ pub fn run() {
         .map(|k| (k.label(), Vec::new()))
         .collect();
     let mut labels = Vec::new();
-    for size in SIZES {
-        labels.push(size_label(size));
-        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
-            let m = run_point(kind, size, 64);
-            gbps_series[i].1.push(m.throughput_gbps(size as u64));
-            ta.row(&[
-                &size_label(size),
-                &kind.label(),
-                &f2(m.throughput_rps() / 1e3),
-                &f2(m.throughput_gbps(size as u64)),
-            ]);
+    for (n, (cell, &(rps, gbps))) in cells.iter().zip(&measured).enumerate() {
+        let (size, kind) = *cell;
+        let i = n % SystemKind::ALL.len();
+        if i == 0 {
+            labels.push(size_label(size));
         }
+        gbps_series[i].1.push(gbps);
+        ta.row(&[&size_label(size), &kind.label(), &f2(rps / 1e3), &f2(gbps)]);
     }
     ta.finish();
     render_bars("Fig. 10a throughput (Gbps)", &labels, &gbps_series);
 
+    let lat = crate::pool::scoped_map(SystemKind::ALL.len(), threads, |i| {
+        let m = run_point(SystemKind::ALL[i], 4096, 16);
+        (
+            m.avg_latency_us(),
+            m.latency_us(0.99),
+            m.latency_us(0.995),
+            m.latency_us(0.999),
+        )
+    });
     let mut tb = Table::new(
         "fig10b_image_latency",
         &["system", "avg_us", "p99_us", "p995_us", "p999_us"],
     );
-    for kind in SystemKind::ALL {
-        let m = run_point(kind, 4096, 16);
-        tb.row(&[
-            &kind.label(),
-            &f2(m.avg_latency_us()),
-            &f2(m.latency_us(0.99)),
-            &f2(m.latency_us(0.995)),
-            &f2(m.latency_us(0.999)),
-        ]);
+    for (kind, (avg, p99, p995, p999)) in SystemKind::ALL.into_iter().zip(lat) {
+        tb.row(&[&kind.label(), &f2(avg), &f2(p99), &f2(p995), &f2(p999)]);
     }
     tb.finish();
 }

@@ -41,8 +41,27 @@ pub fn run_point(kind: SystemKind, rate: f64) -> apps::Measured {
     })
 }
 
-/// Run the experiment and emit `results/fig11_deathstarbench.csv`.
+/// Run the experiment and emit `results/fig11_deathstarbench.csv`. The
+/// (rate, system) cells are independent simulations fanned out across
+/// `SIM_THREADS` workers; rows assemble in sweep order, so the CSV is
+/// byte-identical at every thread count.
 pub fn run() {
+    const KINDS: [SystemKind; 2] = [SystemKind::Erpc, SystemKind::DmNet];
+    let cells: Vec<(f64, SystemKind)> = RATES
+        .iter()
+        .flat_map(|&rate| KINDS.into_iter().map(move |kind| (rate, kind)))
+        .collect();
+    let measured = crate::pool::scoped_map(cells.len(), crate::pool::sim_threads(), |i| {
+        let (rate, kind) = cells[i];
+        let m = run_point(kind, rate);
+        (
+            m.throughput_rps(),
+            m.avg_latency_us(),
+            m.latency_us(0.99),
+            m.latency_us(0.999),
+        )
+    });
+
     let mut t = Table::new(
         "fig11_deathstarbench",
         &[
@@ -54,28 +73,24 @@ pub fn run() {
             "p999_us",
         ],
     );
-    let mut lat_series: Vec<(&str, Vec<f64>)> = [SystemKind::Erpc, SystemKind::DmNet]
-        .iter()
-        .map(|k| (k.label(), Vec::new()))
-        .collect();
+    let mut lat_series: Vec<(&str, Vec<f64>)> =
+        KINDS.iter().map(|k| (k.label(), Vec::new())).collect();
     let mut labels = Vec::new();
-    for rate in RATES {
-        labels.push(format!("{}k", rate as u64 / 1000));
-        for (i, kind) in [SystemKind::Erpc, SystemKind::DmNet]
-            .into_iter()
-            .enumerate()
-        {
-            let m = run_point(kind, rate);
-            lat_series[i].1.push(m.avg_latency_us());
-            t.row(&[
-                &f2(rate / 1e3),
-                &kind.label(),
-                &f2(m.throughput_rps() / 1e3),
-                &f2(m.avg_latency_us()),
-                &f2(m.latency_us(0.99)),
-                &f2(m.latency_us(0.999)),
-            ]);
+    for (n, (cell, &(rps, avg, p99, p999))) in cells.iter().zip(&measured).enumerate() {
+        let (rate, kind) = *cell;
+        let i = n % KINDS.len();
+        if i == 0 {
+            labels.push(format!("{}k", rate as u64 / 1000));
         }
+        lat_series[i].1.push(avg);
+        t.row(&[
+            &f2(rate / 1e3),
+            &kind.label(),
+            &f2(rps / 1e3),
+            &f2(avg),
+            &f2(p99),
+            &f2(p999),
+        ]);
     }
     t.finish();
     render_bars(

@@ -39,8 +39,21 @@ fn run_point(kind: SystemKind, length: usize, workers: usize, window: Duration) 
     })
 }
 
-/// Run the experiment and emit `results/fig5_nested.csv`.
+/// Run the experiment and emit `results/fig5_nested.csv`. The
+/// (chain length, system) cells are independent simulations fanned out
+/// across `SIM_THREADS` workers; rows assemble in sweep order, so the
+/// CSV is byte-identical at every thread count.
 pub fn run() {
+    let cells: Vec<(usize, SystemKind)> = (1..=7usize)
+        .flat_map(|length| SystemKind::ALL.into_iter().map(move |kind| (length, kind)))
+        .collect();
+    let measured = crate::pool::scoped_map(cells.len(), crate::pool::sim_threads(), |i| {
+        let (length, kind) = cells[i];
+        let (tput, lat_loaded) = run_point(kind, length, 16, Duration::from_millis(4));
+        let (_, lat_unloaded) = run_point(kind, length, 1, Duration::from_millis(1));
+        (tput, lat_loaded, lat_unloaded)
+    });
+
     let mut t = Table::new(
         "fig5_nested",
         &[
@@ -56,20 +69,20 @@ pub fn run() {
         .map(|k| (k.label(), Vec::new()))
         .collect();
     let mut labels = Vec::new();
-    for length in 1..=7usize {
-        labels.push(format!("{length} calls"));
-        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
-            let (tput, lat_loaded) = run_point(kind, length, 16, Duration::from_millis(4));
-            let (_, lat_unloaded) = run_point(kind, length, 1, Duration::from_millis(1));
-            tput_series[i].1.push(tput);
-            t.row(&[
-                &length,
-                &kind.label(),
-                &f2(tput),
-                &f2(lat_loaded),
-                &f2(lat_unloaded),
-            ]);
+    for (n, (cell, &(tput, lat_loaded, lat_unloaded))) in cells.iter().zip(&measured).enumerate() {
+        let (length, kind) = *cell;
+        let i = n % SystemKind::ALL.len();
+        if i == 0 {
+            labels.push(format!("{length} calls"));
         }
+        tput_series[i].1.push(tput);
+        t.row(&[
+            &length,
+            &kind.label(),
+            &f2(tput),
+            &f2(lat_loaded),
+            &f2(lat_unloaded),
+        ]);
     }
     t.finish();
     render_bars("Fig. 5a throughput (krps)", &labels, &tput_series);

@@ -58,8 +58,20 @@ pub fn lb_bandwidth_gbs(cluster: &Cluster, elapsed: Duration) -> f64 {
     0.0
 }
 
-/// Run the experiment and emit `results/fig6_loadbalancer.csv`.
+/// Run the experiment and emit `results/fig6_loadbalancer.csv`. The
+/// (size, system) cells are independent simulations fanned out across
+/// `SIM_THREADS` workers; rows assemble in sweep order, so the CSV is
+/// byte-identical at every thread count.
 pub fn run() {
+    let cells: Vec<(usize, SystemKind)> = SIZES
+        .iter()
+        .flat_map(|&size| SystemKind::ALL.into_iter().map(move |kind| (size, kind)))
+        .collect();
+    let measured = crate::pool::scoped_map(cells.len(), crate::pool::sim_threads(), |i| {
+        let (size, kind) = cells[i];
+        run_point(kind, size)
+    });
+
     let mut t = Table::new(
         "fig6_loadbalancer",
         &[
@@ -75,19 +87,20 @@ pub fn run() {
         .map(|k| (k.label(), Vec::new()))
         .collect();
     let mut labels = Vec::new();
-    for size in SIZES {
-        labels.push(size_label(size));
-        for (i, kind) in SystemKind::ALL.into_iter().enumerate() {
-            let (krps, gbps, lb_bw) = run_point(kind, size);
-            bw_series[i].1.push(lb_bw);
-            t.row(&[
-                &size_label(size),
-                &kind.label(),
-                &f2(krps),
-                &f2(gbps),
-                &f2(lb_bw),
-            ]);
+    for (n, (cell, &(krps, gbps, lb_bw))) in cells.iter().zip(&measured).enumerate() {
+        let (size, kind) = *cell;
+        let i = n % SystemKind::ALL.len();
+        if i == 0 {
+            labels.push(size_label(size));
         }
+        bw_series[i].1.push(lb_bw);
+        t.row(&[
+            &size_label(size),
+            &kind.label(),
+            &f2(krps),
+            &f2(gbps),
+            &f2(lb_bw),
+        ]);
     }
     t.finish();
     render_bars("Fig. 6b LB memory bandwidth (GB/s)", &labels, &bw_series);

@@ -31,6 +31,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod latency_breakdown;
+pub mod pool;
 pub mod report;
 pub mod rtt_budget;
 pub mod sim_throughput;

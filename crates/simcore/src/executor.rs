@@ -352,7 +352,28 @@ impl Sim {
 
     /// Run the simulation, processing every event up to and including
     /// `limit`, then set the clock to `limit` (if it got that far).
+    ///
+    /// Boundary semantics (pinned by `simcore/tests/run_boundary.rs`):
+    /// timers scheduled *exactly at* `limit` fire within this call, the
+    /// clock always lands on `limit` afterwards (even if no event reached
+    /// it), and re-entering the run loop from inside a task panics.
     pub fn run_until(&self, limit: SimTime) {
+        self.run_bounded(limit, true);
+    }
+
+    /// Run the simulation, processing every event *strictly before*
+    /// `limit`, then set the clock to `limit`. Timers scheduled exactly at
+    /// `limit` are left pending and fire first in the next run call.
+    ///
+    /// This is the window primitive of the partitioned engine
+    /// ([`crate::par`]): a conservative time window `[start, limit)` must
+    /// exclude its right edge so that events injected *at* `limit` by the
+    /// cross-partition exchange still see the canonical injection order.
+    pub fn run_before(&self, limit: SimTime) {
+        self.run_bounded(limit, false);
+    }
+
+    fn run_bounded(&self, limit: SimTime, inclusive: bool) {
         let _guard = self.enter();
         loop {
             // Drain all currently-runnable tasks at the current instant.
@@ -364,7 +385,7 @@ impl Sim {
                 st.timers.peek().map(|Reverse(e)| e.at)
             };
             match next_at {
-                Some(at) if at <= limit => {
+                Some(at) if (inclusive && at <= limit) || (!inclusive && at < limit) => {
                     let mut st = self.inner.state.borrow_mut();
                     st.now = st.now.max(at);
                     // Fire every timer scheduled for exactly `at`, reusing the
@@ -397,6 +418,37 @@ impl Sim {
     pub fn run_for(&self, d: Duration) {
         let limit = self.now() + d;
         self.run_until(limit);
+    }
+
+    /// The virtual time of the earliest pending event: the current instant
+    /// if any task is runnable, else the earliest pending timer, else
+    /// `None` (the simulation is quiescent — permanently blocked service
+    /// tasks may still be [`Sim::live_tasks`]).
+    ///
+    /// Used by the partitioned engine ([`crate::par`]) to compute the next
+    /// conservative window; stale ready-queue entries for completed tasks
+    /// are conservatively reported as runnable (the subsequent run simply
+    /// skips them).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let st = self.inner.state.borrow();
+        if !st.ready.is_empty() {
+            return Some(st.now);
+        }
+        st.timers.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Run `f` with this simulation installed as the thread's current
+    /// simulation, without running any task. Lets setup code outside a task
+    /// call context-dependent free functions ([`spawn`], [`now`], library
+    /// constructors that spawn service loops) before the run loop starts.
+    ///
+    /// Unlike [`Sim::run_until`], `scope` may be entered while a run loop
+    /// of *another* simulation is on the stack (it nests), but not while
+    /// this simulation itself is running (ordinary task code already has
+    /// the context).
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _tls = EnterGuard::new(self.inner.clone());
+        f()
     }
 
     /// Spawn `future`, run the simulation until it completes, and return its

@@ -1,0 +1,724 @@
+//! Partitioned deterministic simulation: conservative time-windowed
+//! parallel execution of multiple [`Sim`] instances.
+//!
+//! The serial executor ([`Sim`]) is single-threaded by construction, so
+//! event volume scales linearly with wall time. This module partitions a
+//! simulated cluster across OS threads: each **partition** owns a full
+//! `Sim` (its own virtual clock, task slab, timer wheel, and RNG streams)
+//! pinned to one worker thread, and partitions exchange timestamped events
+//! through per-`(src, dst)` ordered queues drained at **window barriers**.
+//!
+//! ## The conservative protocol
+//!
+//! The engine repeatedly computes the *global next event time* `m` — the
+//! minimum over every partition's earliest pending local event and every
+//! undelivered cross-partition event — and runs all partitions through the
+//! window `[m, m + L)`, where `L` is the **lookahead**: a caller-supplied
+//! lower bound on the delay of any cross-partition event (for `simnet`
+//! fabrics, derived from the switch latency plus the minimum NIC cost; see
+//! `Network::xpart_lookahead`). Because no partition has anything to run
+//! before `m`, no send can be timestamped earlier than `m`, so every
+//! cross-partition event generated inside the window is delivered at or
+//! after `m + L` — i.e. in a *later* window. Each partition can therefore
+//! run its window to completion without ever waiting on a peer, and idle
+//! stretches are skipped in one jump (the window start is `m`, not the
+//! previous window's end).
+//!
+//! ## Determinism
+//!
+//! Each partition's execution is a pure function of its builder and the
+//! ordered sequence of events injected into it. Injection order is
+//! canonical — events due inside a window are sorted by
+//! `(deliver_at, src partition, per-pair sequence)` before being scheduled,
+//! and the per-pair sequence is itself deterministic because each sender
+//! partition is deterministic. The thread count only changes *which worker*
+//! runs a partition, never what the partition observes, so virtual-time
+//! results, RNG streams, poll counts, telemetry traces, and golden
+//! fingerprints are byte-identical at every thread count, including
+//! `threads = 1` (the serial schedule). `simcore/tests/par_determinism.rs`
+//! proves this property over randomized topologies.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use crate::time::SimTime;
+use crate::Sim;
+
+/// One timestamped cross-partition event.
+#[derive(Debug)]
+pub struct XEvent<E> {
+    /// Virtual time at which the destination partition must process it.
+    pub deliver_at: SimTime,
+    /// Sending partition.
+    pub src: u32,
+    /// Per-`(src, dst)` sequence number (the deterministic tie-breaker for
+    /// events due at the same instant from the same sender).
+    pub seq: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Per-`(src, dst)` queue: a sequence counter plus pending events. Events
+/// are *not* ordered by `deliver_at` (a sender may delay one packet more
+/// than the next), so window injection scans the whole queue.
+struct PairQueue<E> {
+    seq: u64,
+    events: Vec<XEvent<E>>,
+}
+
+impl<E> Default for PairQueue<E> {
+    fn default() -> Self {
+        PairQueue {
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Shared mailbox fabric: one ordered queue per `(src, dst)` partition
+/// pair. Senders push during their window; receivers drain at the next
+/// window barrier. The barrier separates the phases, so the mutexes are
+/// uncontended in steady state.
+struct Mail<E> {
+    parts: usize,
+    /// Current window end (ns). Every send must be timestamped at or after
+    /// it — the conservative-safety invariant, checked on every push.
+    window_end: AtomicU64,
+    /// Total cross-partition events exchanged (a determinism fingerprint).
+    sent: AtomicU64,
+    queues: Vec<Mutex<PairQueue<E>>>,
+}
+
+impl<E> Mail<E> {
+    fn new(parts: usize) -> Mail<E> {
+        Mail {
+            parts,
+            window_end: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            queues: (0..parts * parts)
+                .map(|_| Mutex::new(PairQueue::default()))
+                .collect(),
+        }
+    }
+}
+
+/// Handle for pushing cross-partition events, given to partition builders
+/// (cheaply cloneable; usable from any task of the owning partition).
+pub struct XSender<E: Send> {
+    src: u32,
+    mail: Arc<Mail<E>>,
+}
+
+impl<E: Send> Clone for XSender<E> {
+    fn clone(&self) -> Self {
+        XSender {
+            src: self.src,
+            mail: self.mail.clone(),
+        }
+    }
+}
+
+impl<E: Send> XSender<E> {
+    /// Enqueue `payload` for partition `dst` at virtual time `deliver_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deliver_at` lies inside the current window — i.e. the
+    /// caller violated the lookahead contract: every cross-partition event
+    /// must be timestamped at least one lookahead after the instant it was
+    /// generated, otherwise the destination may already have advanced past
+    /// it and determinism (and causality) would be lost.
+    pub fn send(&self, dst: u32, deliver_at: SimTime, payload: E) {
+        assert!((dst as usize) < self.mail.parts, "unknown partition {dst}");
+        let window_end = self.mail.window_end.load(Ordering::SeqCst);
+        assert!(
+            deliver_at.nanos() >= window_end,
+            "cross-partition event timestamped {} inside the current window \
+             (end {}): lookahead contract violated",
+            deliver_at.nanos(),
+            window_end,
+        );
+        let q = &self.mail.queues[self.src as usize * self.mail.parts + dst as usize];
+        let mut q = q.lock().expect("mail queue poisoned");
+        let seq = q.seq;
+        q.seq += 1;
+        q.events.push(XEvent {
+            deliver_at,
+            src: self.src,
+            seq,
+            payload,
+        });
+        self.mail.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The sending partition's index.
+    pub fn partition(&self) -> u32 {
+        self.src
+    }
+}
+
+/// Installed delivery handler (see [`PartitionCtx::on_deliver`]).
+type DeliverHook<E> = RefCell<Option<Rc<dyn Fn(E)>>>;
+/// Installed window wrapper (see [`PartitionCtx::wrap_windows`]).
+type WrapHook = RefCell<Option<Rc<dyn Fn(&mut dyn FnMut())>>>;
+
+/// Per-partition hooks installed by the builder.
+struct Hooks<E> {
+    /// Called (inside a simulation task, at exactly `deliver_at`) for every
+    /// event delivered to this partition.
+    on_deliver: DeliverHook<E>,
+    /// Optional wrapper around each window execution (e.g. install a
+    /// per-partition telemetry tracer for the duration of the window).
+    wrap: WrapHook,
+}
+
+impl<E> Default for Hooks<E> {
+    fn default() -> Self {
+        Hooks {
+            on_deliver: RefCell::new(None),
+            wrap: RefCell::new(None),
+        }
+    }
+}
+
+/// The builder-facing view of one partition: its `Sim`, its index, the
+/// cross-partition sender, and the hook registration points.
+pub struct PartitionCtx<E: Send + 'static> {
+    sim: Sim,
+    part: u32,
+    mail: Arc<Mail<E>>,
+    hooks: Rc<Hooks<E>>,
+}
+
+impl<E: Send + 'static> PartitionCtx<E> {
+    /// This partition's simulation. The builder may spawn tasks onto it;
+    /// nothing runs until the engine opens the first window.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This partition's index.
+    pub fn partition(&self) -> u32 {
+        self.part
+    }
+
+    /// A sender for pushing events to other partitions.
+    pub fn sender(&self) -> XSender<E> {
+        XSender {
+            src: self.part,
+            mail: self.mail.clone(),
+        }
+    }
+
+    /// Install the delivery handler: called at `deliver_at` (in virtual
+    /// time, inside a task of this partition) for every incoming event.
+    /// Required if this partition ever receives events.
+    pub fn on_deliver(&self, f: impl Fn(E) + 'static) {
+        *self.hooks.on_deliver.borrow_mut() = Some(Rc::new(f));
+    }
+
+    /// Install a wrapper executed around every window this partition runs;
+    /// the wrapper must call its argument exactly once. Use this to scope
+    /// per-partition thread-local state (e.g. a telemetry tracer install)
+    /// to exactly the polls of this partition, keeping recorded traces
+    /// identical no matter how partitions are packed onto threads.
+    pub fn wrap_windows(&self, f: impl Fn(&mut dyn FnMut()) + 'static) {
+        *self.hooks.wrap.borrow_mut() = Some(Rc::new(f));
+    }
+}
+
+/// A deferred per-partition result extractor, returned by the builder and
+/// invoked on the partition's owner thread after the run completes.
+pub type Finisher<R> = Box<dyn FnOnce() -> R>;
+
+/// A partition builder: runs on the partition's worker thread (inside the
+/// partition's [`Sim::scope`]) before the first window, sets up the
+/// partition's tasks and hooks, and returns the finisher.
+pub type PartitionBuilder<E, R> = Box<dyn FnOnce(&PartitionCtx<E>) -> Finisher<R> + Send>;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ParConfig {
+    /// Minimum delay of any cross-partition event — the conservative
+    /// synchronization window. Must be positive.
+    pub lookahead: Duration,
+    /// Worker threads (clamped to the partition count; `1` = the serial
+    /// schedule, which every other thread count must reproduce exactly).
+    pub threads: usize,
+}
+
+/// Outcome of one partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionOutcome<R> {
+    /// The partition's executor poll count (a schedule fingerprint).
+    pub polls: u64,
+    /// The partition's final virtual time (all clocks end on the final
+    /// window edge, so this is identical across partitions).
+    pub end: SimTime,
+    /// The finisher's result.
+    pub result: R,
+}
+
+/// Outcome of a partitioned run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParOutcome<R> {
+    /// Per-partition outcomes, in partition order.
+    pub partitions: Vec<PartitionOutcome<R>>,
+    /// Number of synchronization windows executed (thread-count
+    /// invariant: a function of event times only).
+    pub windows: u64,
+    /// Total cross-partition events exchanged.
+    pub xevents: u64,
+}
+
+impl<R> ParOutcome<R> {
+    /// The `(polls, end_ns)` pairs of every partition plus the window and
+    /// exchange counts — the canonical byte-reproducibility fingerprint.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = Vec::with_capacity(2 * self.partitions.len() + 2);
+        for p in &self.partitions {
+            fp.push(p.polls);
+            fp.push(p.end.nanos());
+        }
+        fp.push(self.windows);
+        fp.push(self.xevents);
+        fp
+    }
+}
+
+/// Coordinator state shared between the main thread and the workers.
+struct Coord {
+    /// All workers plus the coordinator.
+    barrier: Barrier,
+    /// Per-partition next-event time (ns; `u64::MAX` = quiescent),
+    /// refreshed by workers before every aggregation barrier.
+    nexts: Mutex<Vec<u64>>,
+    /// The window end chosen by the coordinator (ns).
+    window: AtomicU64,
+    done: AtomicBool,
+    /// First worker panic, re-raised on the main thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Coord {
+    fn record_panic(&self, p: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        slot.get_or_insert(p);
+        self.done.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One partition's runtime state on its owner thread.
+struct Slot<E: Send + 'static, R> {
+    part: usize,
+    sim: Sim,
+    hooks: Rc<Hooks<E>>,
+    finish: Option<Finisher<R>>,
+}
+
+/// Run `builders.len()` partitions under conservative time-windowed
+/// synchronization and return the per-partition outcomes.
+///
+/// Partition `i` is pinned to worker thread `i % threads` for the whole
+/// run; results are independent of the thread count (see the module docs).
+pub fn run_partitioned<E, R>(
+    builders: Vec<PartitionBuilder<E, R>>,
+    config: ParConfig,
+) -> ParOutcome<R>
+where
+    E: Send + 'static,
+    R: Send + 'static,
+{
+    assert!(
+        config.lookahead > Duration::ZERO,
+        "partitioned simulation needs a positive lookahead"
+    );
+    let parts = builders.len();
+    if parts == 0 {
+        return ParOutcome {
+            partitions: Vec::new(),
+            windows: 0,
+            xevents: 0,
+        };
+    }
+    let threads = config.threads.clamp(1, parts);
+    let mail: Arc<Mail<E>> = Arc::new(Mail::new(parts));
+    let coord = Arc::new(Coord {
+        barrier: Barrier::new(threads + 1),
+        nexts: Mutex::new(vec![u64::MAX; parts]),
+        window: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        panic: Mutex::new(None),
+    });
+
+    // Distribute builders round-robin: partition i -> thread i % threads.
+    let mut per_thread: Vec<Vec<(usize, PartitionBuilder<E, R>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, b) in builders.into_iter().enumerate() {
+        per_thread[i % threads].push((i, b));
+    }
+
+    let mut windows = 0u64;
+    let mut outcomes: Vec<(usize, PartitionOutcome<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|mine| {
+                let mail = mail.clone();
+                let coord = coord.clone();
+                scope.spawn(move || worker(mine, mail, coord))
+            })
+            .collect();
+
+        // Coordinator: aggregate next-event times, choose windows.
+        loop {
+            coord.barrier.wait(); // workers have reported and pushed sends
+            if coord.panic.lock().expect("panic slot").is_some() {
+                coord.done.store(true, Ordering::SeqCst);
+            } else {
+                let mut m = {
+                    let nexts = coord.nexts.lock().expect("nexts poisoned");
+                    nexts.iter().copied().min().unwrap_or(u64::MAX)
+                };
+                for q in &mail.queues {
+                    let q = q.lock().expect("mail queue poisoned");
+                    for ev in &q.events {
+                        m = m.min(ev.deliver_at.nanos());
+                    }
+                }
+                if m == u64::MAX {
+                    coord.done.store(true, Ordering::SeqCst);
+                } else {
+                    let end = (SimTime::from_nanos(m) + config.lookahead).nanos();
+                    assert!(end > m, "lookahead too small for the time scale");
+                    mail.window_end.store(end, Ordering::SeqCst);
+                    coord.window.store(end, Ordering::SeqCst);
+                    windows += 1;
+                }
+            }
+            coord.barrier.wait(); // release workers into the window
+            if coord.done.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(outs) => outs,
+                Err(p) => resume_unwind(p),
+            })
+            .collect()
+    });
+    if let Some(p) = coord.panic.lock().expect("panic slot").take() {
+        resume_unwind(p);
+    }
+    outcomes.sort_by_key(|&(i, _)| i);
+    ParOutcome {
+        partitions: outcomes.into_iter().map(|(_, o)| o).collect(),
+        windows,
+        xevents: mail.sent.load(Ordering::Relaxed),
+    }
+}
+
+/// Worker thread: builds its partitions, then alternates report / barrier /
+/// window phases with the coordinator until the run is globally quiescent.
+fn worker<E, R>(
+    mine: Vec<(usize, PartitionBuilder<E, R>)>,
+    mail: Arc<Mail<E>>,
+    coord: Arc<Coord>,
+) -> Vec<(usize, PartitionOutcome<R>)>
+where
+    E: Send + 'static,
+    R: Send + 'static,
+{
+    // Build phase. A panicking builder poisons the run (recorded, and the
+    // worker keeps participating in barriers so nobody deadlocks).
+    let mut slots: Vec<Slot<E, R>> = Vec::new();
+    for (part, builder) in mine {
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            let sim = Sim::new();
+            let hooks: Rc<Hooks<E>> = Rc::new(Hooks::default());
+            let ctx = PartitionCtx {
+                sim: sim.clone(),
+                part: part as u32,
+                mail: mail.clone(),
+                hooks: hooks.clone(),
+            };
+            let finish = ctx.sim.scope(|| builder(&ctx));
+            Slot {
+                part,
+                sim,
+                hooks,
+                finish: Some(finish),
+            }
+        }));
+        match built {
+            Ok(slot) => slots.push(slot),
+            Err(p) => {
+                coord.record_panic(p);
+                break;
+            }
+        }
+    }
+
+    loop {
+        {
+            let mut nexts = coord.nexts.lock().expect("nexts poisoned");
+            for slot in &slots {
+                nexts[slot.part] = slot
+                    .sim
+                    .next_event_time()
+                    .map(|t| t.nanos())
+                    .unwrap_or(u64::MAX);
+            }
+        }
+        coord.barrier.wait(); // report done; coordinator aggregates
+        coord.barrier.wait(); // window published
+        if coord.done.load(Ordering::SeqCst) {
+            break;
+        }
+        let end = SimTime::from_nanos(coord.window.load(Ordering::SeqCst));
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            for slot in &mut slots {
+                inject(slot, &mail, end);
+                run_window(slot, end);
+            }
+        }));
+        if let Err(p) = ran {
+            coord.record_panic(p);
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|mut slot| {
+            let finish = slot.finish.take().expect("finisher present");
+            (
+                slot.part,
+                PartitionOutcome {
+                    polls: slot.sim.poll_count(),
+                    end: slot.sim.now(),
+                    result: finish(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Drain every event due before `end` for `slot`'s partition and schedule
+/// it at its delivery time, in canonical `(deliver_at, src, seq)` order.
+fn inject<E: Send + 'static, R>(slot: &mut Slot<E, R>, mail: &Arc<Mail<E>>, end: SimTime) {
+    let mut incoming: Vec<XEvent<E>> = Vec::new();
+    for src in 0..mail.parts {
+        let q = &mail.queues[src * mail.parts + slot.part];
+        let mut q = q.lock().expect("mail queue poisoned");
+        let mut i = 0;
+        while i < q.events.len() {
+            if q.events[i].deliver_at < end {
+                incoming.push(q.events.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if incoming.is_empty() {
+        return;
+    }
+    incoming.sort_by_key(|ev| (ev.deliver_at, ev.src, ev.seq));
+    for ev in incoming {
+        let hooks = slot.hooks.clone();
+        slot.sim.spawn(async move {
+            crate::sleep_until(ev.deliver_at).await;
+            let handler =
+                hooks.on_deliver.borrow().clone().expect(
+                    "partition received a cross-partition event but has no on_deliver handler",
+                );
+            handler(ev.payload);
+        });
+    }
+}
+
+/// Run one partition's window `[.., end)`, through its wrapper if any.
+fn run_window<E: Send + 'static, R>(slot: &mut Slot<E, R>, end: SimTime) {
+    let wrap = slot.hooks.wrap.borrow().clone();
+    match wrap {
+        Some(w) => {
+            let sim = slot.sim.clone();
+            let mut ran = false;
+            w(&mut || {
+                ran = true;
+                sim.run_before(end);
+            });
+            assert!(ran, "wrap_windows wrapper never ran its window");
+        }
+        None => slot.sim.run_before(end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// Two partitions bounce a counter back and forth `HOPS` times with a
+    /// fixed per-hop delay; the engine must terminate, count every event,
+    /// and produce identical fingerprints at 1 and 2 threads.
+    fn pingpong(threads: usize) -> (ParOutcome<u64>, Vec<u64>) {
+        const HOPS: u64 = 64;
+        let delay = Duration::from_micros(3);
+        let builders: Vec<PartitionBuilder<u64, u64>> = (0..2u32)
+            .map(|part| {
+                let b: PartitionBuilder<u64, u64> = Box::new(move |ctx| {
+                    let sent: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+                    let sender = ctx.sender();
+                    let peer = 1 - part;
+                    let relay = {
+                        let sent = sent.clone();
+                        move |v: u64| {
+                            if v < HOPS {
+                                sent.set(sent.get() + 1);
+                                sender.send(peer, crate::now() + delay, v + 1);
+                            }
+                        }
+                    };
+                    ctx.on_deliver(relay.clone());
+                    if part == 0 {
+                        let sender = ctx.sender();
+                        let sent = sent.clone();
+                        ctx.sim().spawn(async move {
+                            crate::sleep(delay).await;
+                            sent.set(sent.get() + 1);
+                            sender.send(1, crate::now() + delay, 1);
+                        });
+                    }
+                    Box::new(move || sent.get())
+                });
+                b
+            })
+            .collect();
+        let out = run_partitioned(
+            builders,
+            ParConfig {
+                lookahead: delay,
+                threads,
+            },
+        );
+        let fp = out.fingerprint();
+        (out, fp)
+    }
+
+    #[test]
+    fn pingpong_terminates_and_counts() {
+        let (out, _) = pingpong(2);
+        assert_eq!(out.partitions.len(), 2);
+        assert_eq!(out.xevents, 64);
+        let total_sent: u64 = out.partitions.iter().map(|p| p.result).sum();
+        assert_eq!(total_sent, 64);
+        assert!(out.windows >= 64, "each hop needs at least one window");
+    }
+
+    #[test]
+    fn fingerprint_identical_across_thread_counts() {
+        let (_, fp1) = pingpong(1);
+        let (_, fp2) = pingpong(2);
+        let (_, fp4) = pingpong(4); // clamps to 2 partitions
+        assert_eq!(fp1, fp2);
+        assert_eq!(fp1, fp4);
+    }
+
+    #[test]
+    fn no_cross_events_runs_each_partition_independently() {
+        let builders: Vec<PartitionBuilder<(), u64>> = (0..3u64)
+            .map(|i| {
+                let b: PartitionBuilder<(), u64> = Box::new(move |ctx| {
+                    let t: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+                    let t2 = t.clone();
+                    ctx.sim().spawn(async move {
+                        crate::sleep(Duration::from_micros(1 + i)).await;
+                        t2.set(crate::now().nanos());
+                    });
+                    Box::new(move || t.get())
+                });
+                b
+            })
+            .collect();
+        let out = run_partitioned(
+            builders,
+            ParConfig {
+                lookahead: Duration::from_micros(10),
+                threads: 3,
+            },
+        );
+        assert_eq!(out.xevents, 0);
+        for (i, p) in out.partitions.iter().enumerate() {
+            assert_eq!(p.result, 1_000 + i as u64 * 1_000);
+        }
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let out = run_partitioned::<(), ()>(
+            Vec::new(),
+            ParConfig {
+                lookahead: Duration::from_micros(1),
+                threads: 4,
+            },
+        );
+        assert_eq!(out.windows, 0);
+        assert!(out.partitions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead contract violated")]
+    fn send_inside_window_panics() {
+        let builders: Vec<PartitionBuilder<(), ()>> = (0..2)
+            .map(|part| {
+                let b: PartitionBuilder<(), ()> = Box::new(move |ctx| {
+                    ctx.on_deliver(|_| {});
+                    if part == 0 {
+                        let sender = ctx.sender();
+                        ctx.sim().spawn(async move {
+                            crate::sleep(Duration::from_micros(5)).await;
+                            // Timestamped "now": inside the current window.
+                            sender.send(1, crate::now(), ());
+                        });
+                    }
+                    Box::new(|| ())
+                });
+                b
+            })
+            .collect();
+        run_partitioned(
+            builders,
+            ParConfig {
+                lookahead: Duration::from_micros(2),
+                threads: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn builder_panic_propagates() {
+        let builders: Vec<PartitionBuilder<(), ()>> = vec![
+            Box::new(|_| panic!("builder boom")),
+            Box::new(|ctx| {
+                ctx.on_deliver(|_| {});
+                Box::new(|| ())
+            }),
+        ];
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_partitioned(
+                builders,
+                ParConfig {
+                    lookahead: Duration::from_micros(1),
+                    threads: 2,
+                },
+            )
+        }));
+        assert!(r.is_err());
+    }
+}

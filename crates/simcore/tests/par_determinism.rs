@@ -1,0 +1,118 @@
+//! Property tests for the partitioned engine: randomized topologies and
+//! cross-partition schedules must produce byte-identical outcomes at
+//! every thread count (ISSUE 6 satellite). The serial schedule
+//! (`threads = 1`) is the reference; 2 and 4 threads must reproduce its
+//! fingerprint, delivery hashes, and delivery counts exactly.
+
+use proptest::prelude::*;
+use simcore::par::{run_partitioned, ParConfig, PartitionBuilder};
+use simcore::{Duration, SimTime};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Conservative window: every cross-partition send is scheduled at least
+/// this far in the future.
+const LOOKAHEAD: Duration = Duration::from_micros(5);
+
+/// Order-sensitive mixer: delivery order and virtual delivery times feed
+/// the hash, so any schedule divergence shows up as a different digest.
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(27)
+        .wrapping_add(0x632B_E5AB)
+}
+
+/// One randomized scenario. `sends` is a flat schedule of
+/// `(src_hint, dst_hint, at_us, payload)` tuples; hints are reduced
+/// modulo the topology so the same schedule reruns at any thread count.
+/// Returns the engine fingerprint plus each partition's
+/// `(delivery_hash, delivered, sent)` result.
+fn run_schedule(
+    parts: u32,
+    sends: &[(u32, u32, u64, u64)],
+    threads: usize,
+) -> (Vec<u64>, Vec<(u64, u64, u64)>) {
+    let builders: Vec<PartitionBuilder<u64, (u64, u64, u64)>> = (0..parts)
+        .map(|me| {
+            let sends = sends.to_vec();
+            let b: PartitionBuilder<u64, (u64, u64, u64)> = Box::new(move |ctx| {
+                let state = Rc::new(Cell::new((0u64, 0u64)));
+                let st = state.clone();
+                let sim = ctx.sim().clone();
+                ctx.on_deliver(move |v: u64| {
+                    let (h, n) = st.get();
+                    st.set((mix(mix(h, v), sim.now().nanos()), n + 1));
+                });
+                let sender = ctx.sender();
+                let mut sent = 0u64;
+                for &(src_hint, dst_hint, at_us, payload) in &sends {
+                    if src_hint % parts != me {
+                        continue;
+                    }
+                    sent += 1;
+                    // Never self-send: offset 1..parts from `me`.
+                    let dst = (me + 1 + dst_hint % (parts - 1).max(1)) % parts;
+                    let sender = sender.clone();
+                    ctx.sim().spawn(async move {
+                        simcore::sleep_until(SimTime::from_nanos(at_us * 1_000)).await;
+                        // Deterministic extra delay on top of the minimum
+                        // lookahead, derived from the payload.
+                        let extra = Duration::from_nanos(payload % 7_000);
+                        let at = simcore::now() + LOOKAHEAD + extra;
+                        sender.send(dst, at, payload);
+                    });
+                }
+                // Local-only background work so partitions have uneven
+                // poll counts that a schedule divergence would disturb.
+                ctx.sim().spawn(async move {
+                    for _ in 0..=me {
+                        simcore::sleep(Duration::from_micros(3)).await;
+                    }
+                });
+                Box::new(move || {
+                    let (h, n) = state.get();
+                    (h, n, sent)
+                })
+            });
+            b
+        })
+        .collect();
+    let out = run_partitioned(
+        builders,
+        ParConfig {
+            lookahead: LOOKAHEAD,
+            threads,
+        },
+    );
+    let results = out.partitions.iter().map(|p| p.result).collect();
+    (out.fingerprint(), results)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any randomized topology and schedule yields the serial outcome at
+    /// 2 and 4 threads: identical fingerprints (polls, end times,
+    /// windows, exchanged events) and identical per-partition delivery
+    /// hashes, which encode both delivery order and virtual times.
+    #[test]
+    fn fingerprints_match_serial_at_any_thread_count(
+        parts in 2u32..6,
+        sends in proptest::collection::vec(
+            (0u32..16, 0u32..16, 1u64..200, 0u64..u64::MAX),
+            1..40,
+        ),
+    ) {
+        let (fp1, res1) = run_schedule(parts, &sends, 1);
+        let delivered: u64 = res1.iter().map(|r| r.1).sum();
+        let sent: u64 = res1.iter().map(|r| r.2).sum();
+        prop_assert_eq!(delivered, sent, "every send is delivered exactly once");
+        prop_assert_eq!(sent, sends.len() as u64);
+        for threads in [2usize, 4] {
+            let (fp, res) = run_schedule(parts, &sends, threads);
+            prop_assert_eq!(&fp, &fp1, "fingerprint diverged at {} threads", threads);
+            prop_assert_eq!(&res, &res1, "results diverged at {} threads", threads);
+        }
+    }
+}
