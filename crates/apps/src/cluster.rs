@@ -75,6 +75,10 @@ pub struct ClusterConfig {
     /// DmRPC-net system is measured with its cached client; benches ablate
     /// it by passing [`dmnet::CacheConfig::default`] (all off).
     pub dm_client_cache: dmnet::CacheConfig,
+    /// Durable DM tier (DESIGN.md §12), applied to every DmNet server.
+    /// Defaults to [`dmnet::WalConfig::from_env`] (`DM_DURABLE=1` turns on
+    /// the zero-cost log, otherwise off).
+    pub dm_durability: Option<dmnet::WalConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -88,6 +92,7 @@ impl Default for ClusterConfig {
             rpc: RpcConfig::default(),
             lease_ttl: None,
             dm_client_cache: dmnet::CacheConfig::all_on(),
+            dm_durability: dmnet::WalConfig::from_env(),
         }
     }
 }
@@ -149,6 +154,7 @@ impl Cluster {
                     copy_mode: config.copy_mode,
                     cores: config.dm_server_cores,
                     lease_ttl: config.lease_ttl,
+                    durability: config.dm_durability,
                     ..Default::default()
                 };
                 for i in 0..n_dm_servers.max(1) {
@@ -299,6 +305,22 @@ impl Cluster {
             reg.register_gauge(format!("dmserver.{i}.traffic_bytes"), move || {
                 srv.memory().traffic_bytes()
             });
+            if s.wal().is_some() {
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.wal.records"), move || {
+                    srv.wal().map_or(0, |w| w.records())
+                });
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.wal.log_bytes"), move || {
+                    srv.wal().map_or(0, |w| w.log_bytes())
+                });
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.wal.compactions"), move || {
+                    srv.wal().map_or(0, |w| w.compactions())
+                });
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.recoveries"), move || srv.recoveries());
+            }
         }
         if let Some(f) = &self.fabric {
             let g = f.gfam().clone();

@@ -15,6 +15,7 @@ fn main() {
     bench::extras::run();
     bench::rtt_budget::run();
     bench::latency_breakdown::run();
+    bench::recovery::run();
     println!(
         "\nall experiments done in {:.1}s wall time",
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,6 @@
+//! Durable-tier recovery cost: replay time vs log length (with and
+//! without checkpoint compaction) and the durability overhead of the
+//! chain workload. See bench::recovery.
+fn main() {
+    bench::recovery::run();
+}

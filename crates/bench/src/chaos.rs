@@ -13,7 +13,14 @@
 //! * **typed completion** — every request either completes or returns a
 //!   typed error (a hang would deadlock `block_on`, failing the run);
 //! * **determinism** — the same seed and fault class reproduce the same
-//!   virtual-time fingerprint, bit for bit.
+//!   virtual-time fingerprint, bit for bit;
+//! * **crash durability** — under the server-crash-recovery class every
+//!   crash heals via `restart_from_log` and the rebuilt memory plane must
+//!   be digest-identical to the acknowledged pre-crash state. Every
+//!   acknowledged `put_ref` whose owner's lease survived must read back
+//!   byte-exact; every ref of a lease-reclaimed owner must be fully
+//!   released (zero lost acknowledged puts, zero resurrected frees —
+//!   DESIGN.md §12).
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -40,17 +47,25 @@ pub enum FaultClass {
     /// Packet duplication + reordering on random links.
     DupReorder,
     /// DM-server crash/restart windows plus one client fail-stop
-    /// (exercises lease-based reclamation).
+    /// (exercises lease-based reclamation). State survives the crash
+    /// (fail-stop with intact memory).
     ServerCrash,
+    /// DM-server crash/recovery windows against the durable tier
+    /// (DESIGN.md §12): servers run with the write-ahead log on, every
+    /// crash is healed by `restart_from_log`, and the driver asserts the
+    /// rebuilt memory plane is digest-identical to the pre-recovery state
+    /// (zero lost acknowledged ops, zero resurrected frees).
+    ServerCrashRecovery,
 }
 
 impl FaultClass {
     /// All fault classes, in sweep order.
-    pub const ALL: [FaultClass; 4] = [
+    pub const ALL: [FaultClass; 5] = [
         FaultClass::BurstyLoss,
         FaultClass::Partition,
         FaultClass::DupReorder,
         FaultClass::ServerCrash,
+        FaultClass::ServerCrashRecovery,
     ];
 
     /// Short label for reports.
@@ -60,7 +75,17 @@ impl FaultClass {
             FaultClass::Partition => "partition",
             FaultClass::DupReorder => "dup-reorder",
             FaultClass::ServerCrash => "server-crash",
+            FaultClass::ServerCrashRecovery => "server-crash-recovery",
         }
+    }
+
+    /// Whether this class crashes DM servers (both crash classes share
+    /// the victim-client and reclamation checks).
+    pub fn crashes_servers(&self) -> bool {
+        matches!(
+            self,
+            FaultClass::ServerCrash | FaultClass::ServerCrashRecovery
+        )
     }
 }
 
@@ -114,16 +139,20 @@ const LEASE_TTL: Duration = Duration::from_micros(200);
 
 /// Shared fault-schedule driver: toggles faults between random pairs from
 /// `links` until `stop` is set, entirely driven by `rng`. `crash` is the
-/// set of crash/restart hooks used by [`FaultClass::ServerCrash`]; when
-/// empty, that class degrades to partition windows (a fail-stop node is
-/// indistinguishable from a partitioned one).
+/// set of DM servers crashed by the server-crash classes; when empty,
+/// those classes degrade to partition windows (a fail-stop node is
+/// indistinguishable from a partitioned one). For
+/// [`FaultClass::ServerCrashRecovery`] every crash heals through
+/// `restart_from_log` and the rebuilt memory plane must be digest-equal
+/// to the pre-recovery state; mismatches land in `violations`.
 fn spawn_fault_driver(
     net: Network,
     links: Vec<(NodeId, NodeId)>,
-    crash: Vec<Rc<dyn Fn(bool)>>,
+    crash: Vec<Rc<dmnet::DmServer>>,
     fault: FaultClass,
     rng: SimRng,
     stop: Rc<Cell<bool>>,
+    violations: Rc<RefCell<Vec<String>>>,
 ) {
     assert!(!links.is_empty(), "fault driver needs at least one link");
     simcore::spawn(async move {
@@ -152,15 +181,37 @@ fn spawn_fault_driver(
                     net.clear_link_faults(a, b);
                     net.clear_link_faults(b, a);
                 }
-                FaultClass::ServerCrash => {
+                FaultClass::ServerCrash | FaultClass::ServerCrashRecovery => {
                     if crash.is_empty() {
                         net.partition_for(a, b, window);
                         simcore::sleep(window).await;
                     } else {
-                        let hook = &crash[rng.gen_range(crash.len() as u64) as usize];
-                        hook(true); // crash
+                        let s = &crash[rng.gen_range(crash.len() as u64) as usize];
+                        s.crash();
                         simcore::sleep(window).await;
-                        hook(false); // restart
+                        if fault == FaultClass::ServerCrashRecovery {
+                            // The crashed memory is intact (fail-stop), so
+                            // its digest is the recovery oracle: replaying
+                            // the log must rebuild exactly the acknowledged
+                            // pre-crash state.
+                            let pre = s.pages_digest();
+                            let report = s.restart_from_log().await;
+                            if report.torn_tail {
+                                violations
+                                    .borrow_mut()
+                                    .push("recovery: torn tail in an uncorrupted log".into());
+                            }
+                            let post = s.pages_digest();
+                            if post != pre {
+                                violations.borrow_mut().push(format!(
+                                    "recovery: digest {post:#018x} != pre-crash {pre:#018x} \
+                                     ({} records replayed)",
+                                    report.records_replayed
+                                ));
+                            }
+                        } else {
+                            s.restart();
+                        }
                     }
                 }
             }
@@ -182,10 +233,15 @@ fn spawn_fault_driver(
 pub fn run_chain_case(kind: SystemKind, fault: FaultClass, seed: u64) -> CaseResult {
     let sim = Sim::new();
     let (completed, errors, checksum, violations) = sim.block_on(async move {
+        // Durability is set explicitly per fault class (not inherited from
+        // `DM_DURABLE`) so chaos fingerprints never depend on the
+        // environment: only the recovery class runs with the WAL on.
         let config = ClusterConfig {
             rpc: chaos_rpc_config(),
             lease_ttl: Some(LEASE_TTL),
             dm_capacity_pages: 4096,
+            dm_durability: (fault == FaultClass::ServerCrashRecovery)
+                .then(dmnet::WalConfig::zero_cost),
             ..Default::default()
         };
         let cluster = Cluster::new(kind, 2, config, seed);
@@ -203,27 +259,18 @@ pub fn run_chain_case(kind: SystemKind, fault: FaultClass, seed: u64) -> CaseRes
             .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
             .filter(|(a, b)| a != b)
             .collect();
-        let crash: Vec<Rc<dyn Fn(bool)>> = cluster
-            .dm_servers
-            .iter()
-            .map(|s| {
-                let s = s.clone();
-                Rc::new(move |down: bool| if down { s.crash() } else { s.restart() })
-                    as Rc<dyn Fn(bool)>
-            })
-            .collect();
         let stop = Rc::new(Cell::new(false));
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
         spawn_fault_driver(
             cluster.net.clone(),
             links,
-            crash,
+            cluster.dm_servers.clone(),
             fault,
             SimRng::new(seed ^ 0xFA11),
             stop.clone(),
+            violations.clone(),
         );
-
-        let checksum = Rc::new(Cell::new(0u64));
-        let violations = Rc::new(RefCell::new(Vec::new()));
         let m = {
             let app = app.clone();
             let checksum = checksum.clone();
@@ -317,6 +364,10 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
             DmServerConfig {
                 capacity_pages: 4096,
                 lease_ttl: Some(LEASE_TTL),
+                // Explicit per-class durability keeps the fingerprints
+                // independent of `DM_DURABLE` (see `run_chain_case`).
+                durability: (fault == FaultClass::ServerCrashRecovery)
+                    .then(dmnet::WalConfig::zero_cost),
                 ..Default::default()
             },
         );
@@ -348,21 +399,19 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
         let shared = Rc::new(clients[0].create_ref(addr, REGION as u64).await.unwrap());
 
         let links: Vec<(NodeId, NodeId)> = client_nodes.iter().map(|&c| (c, dm_node)).collect();
-        let crash: Vec<Rc<dyn Fn(bool)>> = vec![{
-            let s = servers[0].clone();
-            Rc::new(move |down: bool| if down { s.crash() } else { s.restart() })
-                as Rc<dyn Fn(bool)>
-        }];
         let stop = Rc::new(Cell::new(false));
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
         spawn_fault_driver(
             net.clone(),
             links,
-            crash,
+            vec![servers[0].clone()],
             fault,
             SimRng::new(seed ^ 0xFA11),
             stop.clone(),
+            violations.clone(),
         );
-        if fault == FaultClass::ServerCrash {
+        if fault.crashes_servers() {
             // One client fail-stops mid-run; its lease must reclaim the
             // mapping it inevitably leaks.
             let victim = clients[3].clone();
@@ -372,22 +421,33 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
             });
         }
 
-        let checksum = Rc::new(Cell::new(0u64));
-        let violations = Rc::new(RefCell::new(Vec::new()));
+        // Zero-lost-acks oracle (recovery class only): every acknowledged
+        // `put_ref` from a non-victim client is recorded with its owner and
+        // fill byte. After the last recovery the contract is a dichotomy:
+        // an owner whose lease survived must read every acked ref back
+        // byte-exact; an owner the lease plane reclaimed (repeated crash
+        // windows can starve renewals past the TTL — that reclamation is
+        // itself logged, hence crash-consistent) must see every ref
+        // released, never a resurrected or half-alive one.
+        let acked: Rc<RefCell<Vec<(usize, dmcommon::Ref, u8)>>> = Rc::new(RefCell::new(Vec::new()));
         let m = {
             let clients = clients.clone();
             let shared = shared.clone();
             let checksum = checksum.clone();
             let violations = violations.clone();
+            let acked = acked.clone();
             run_closed_loop(
                 4,
                 Duration::from_micros(100),
                 Duration::from_micros(1500),
-                Rc::new(move |w: usize, _i: u64| {
-                    let c = clients[w % clients.len()].clone();
+                Rc::new(move |w: usize, i: u64| {
+                    let ci = w % clients.len();
+                    let victim = ci == 3;
+                    let c = clients[ci].clone();
                     let shared = shared.clone();
                     let checksum = checksum.clone();
                     let violations = violations.clone();
+                    let acked = acked.clone();
                     async move {
                         // COW isolation: the shared ref always reads its
                         // original bytes, even while other workers write.
@@ -409,6 +469,16 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
                                 .push("COW write lost on private mapping".into());
                         }
                         c.rfree(mapping).await?;
+                        // Recovery oracle: record every acknowledged put
+                        // (non-victim clients only — the victim fail-stops
+                        // mid-run, racing its own worker). An errored put
+                        // is indeterminate and stays out.
+                        if fault == FaultClass::ServerCrashRecovery && !victim {
+                            let fill = (w as u8).wrapping_mul(31).wrapping_add(i as u8) | 1;
+                            if let Ok(r) = c.put_ref(&Bytes::from(vec![fill; 512])).await {
+                                acked.borrow_mut().push((ci, r, fill));
+                            }
+                        }
                         checksum.set(
                             checksum
                                 .get()
@@ -428,6 +498,55 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
         simcore::sleep(Duration::from_millis(1)).await;
         servers[0].check_invariants_all();
 
+        if fault == FaultClass::ServerCrashRecovery {
+            // Which owners does the lease plane still recognize? A probe
+            // alloc succeeds iff the pid is still registered (a reclaimed
+            // owner gets `InvalidAddress` and would have to re-register).
+            let mut alive = [false; 4];
+            for (i, c) in clients.iter().enumerate() {
+                if let Ok(probe) = c.ralloc(4096).await {
+                    alive[i] = true;
+                    let _ = c.rfree(probe).await;
+                }
+            }
+            // Read every acked ref back through a fresh cache-off client,
+            // so hits must come from the recovered server itself rather
+            // than a survivor's cache.
+            let vnode = net.add_node("verify", NicConfig::default());
+            let vrpc = RpcBuilder::new(&net, vnode, 100)
+                .config(chaos_rpc_config())
+                .build();
+            let verifier = DmNetClient::connect(vrpc, pool.clone())
+                .await
+                .expect("healed fabric: verifier connect");
+            let acked_snapshot = acked.borrow().clone();
+            for (ci, r, fill) in acked_snapshot.iter() {
+                let got = verifier.read_ref(r, 0, 512).await;
+                if alive[*ci] {
+                    // Zero lost acknowledged puts.
+                    match got {
+                        Ok(b) if b.iter().all(|&x| x == *fill) => {}
+                        Ok(_) => violations.borrow_mut().push(format!(
+                            "recovery: acked put_ref (fill {fill:#04x}) read back wrong bytes"
+                        )),
+                        Err(e) => violations.borrow_mut().push(format!(
+                            "recovery: acked put_ref (fill {fill:#04x}) lost: {e:?}"
+                        )),
+                    }
+                } else {
+                    // Zero resurrected frees: a reclaimed owner's refs are
+                    // fully released, never half-alive.
+                    match got {
+                        Err(dmcommon::DmError::InvalidRef) => {}
+                        other => violations.borrow_mut().push(format!(
+                            "recovery: reclaimed owner's ref resurrected: {other:?}"
+                        )),
+                    }
+                }
+            }
+            verifier.simulate_crash();
+        }
+
         // Teardown: fail-stop every client; the sweeper must return every
         // page (including mappings leaked by faulted ops and the crashed
         // client's pins) to the free list.
@@ -445,7 +564,7 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
                 capacity
             ));
         }
-        if fault == FaultClass::ServerCrash && servers[0].leases_reclaimed() == 0 {
+        if fault.crashes_servers() && servers[0].leases_reclaimed() == 0 {
             violations.push("crashed client's lease never reclaimed".into());
         }
         servers[0].shutdown(); // stops the lease sweeper

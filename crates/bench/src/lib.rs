@@ -16,6 +16,7 @@
 //! | `fig12` | Fig. 12a/b CXL latency sensitivity |
 //! | `extras` | §V-A2 translation overhead, size-threshold and ownership-batching ablations |
 //! | `chaos` | seed-swept fault injection with invariant checks (DESIGN.md §8) |
+//! | `recovery` | durable-tier recovery cost + zero-cost durability contract (DESIGN.md §12) |
 //! | `rtt_budget` | control-plane RTTs/op with the §9 client cache + coalescer off vs on |
 //! | `latency_breakdown` | per-RPC latency attribution from the telemetry span trees (§10) |
 
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod latency_breakdown;
 pub mod pool;
+pub mod recovery;
 pub mod report;
 pub mod rtt_budget;
 pub mod sim_throughput;

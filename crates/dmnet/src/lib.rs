@@ -28,6 +28,7 @@ pub mod page_manager;
 pub mod proto;
 pub mod server;
 pub mod translator;
+pub mod wal;
 
 /// Re-export of the shared VA-range allocator (lives in [`dmcommon`]).
 pub use dmcommon::va_tree;
@@ -35,7 +36,8 @@ pub use dmcommon::va_tree;
 pub use cache::{CacheConfig, CacheStats};
 pub use client::DmNetClient;
 pub use page_manager::{OpCost, PageManager};
-pub use server::{start_pool, DmServer, DmServerConfig};
+pub use server::{start_pool, DmServer, DmServerConfig, RecoveryReport};
+pub use wal::{Record, Wal, WalConfig};
 
 #[cfg(test)]
 mod e2e_tests {
@@ -265,6 +267,127 @@ mod e2e_tests {
             assert!(back.iter().all(|&b| b == 1));
             dm.rfree(addr).await.unwrap();
             servers[0].shutdown(); // stops the lease sweeper
+        });
+    }
+
+    #[test]
+    fn crash_cancels_sweeper_outright() {
+        // Regression: crash() used to leave the sweeper task armed forever
+        // on the dead replica (it skipped per-tick). It must cancel at its
+        // next tick, and the restart paths must re-arm exactly one.
+        let r = rig(1, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0) = (r.dm_nodes[0], r.compute[0]);
+        r.sim.block_on(async move {
+            let ttl = std::time::Duration::from_millis(2);
+            let cfg = DmServerConfig {
+                lease_ttl: Some(ttl),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            assert!(servers[0].sweeper_armed(), "sweeper armed at start");
+
+            let dm = DmNetClient::connect(client_rpc(&net, c0, 100), vec![servers[0].addr()])
+                .await
+                .unwrap();
+            let addr = dm.ralloc(4096).await.unwrap();
+
+            servers[0].crash();
+            // Still armed until its next tick fires, then cancelled.
+            simcore::sleep(2 * ttl).await;
+            assert!(
+                !servers[0].sweeper_armed(),
+                "crash left the sweeper armed on a dead replica"
+            );
+
+            // Restart re-arms exactly one sweeper, which still works: a
+            // client that crashes afterwards is reclaimed as usual.
+            servers[0].restart();
+            assert!(servers[0].sweeper_armed(), "restart must re-arm");
+            servers[0].restart(); // idempotent: no second sweeper
+            dm.rwrite(addr, &Bytes::from(vec![3u8; 16])).await.unwrap();
+            dm.simulate_crash();
+            simcore::sleep(5 * ttl).await;
+            assert!(servers[0].leases_reclaimed() >= 1, "re-armed sweeper dead");
+            servers[0].check_invariants_all();
+            assert_eq!(
+                servers[0].free_pages_total(),
+                servers[0].capacity_pages_total()
+            );
+            servers[0].shutdown();
+            simcore::sleep(2 * ttl).await;
+            assert!(!servers[0].sweeper_armed(), "shutdown stops the sweeper");
+        });
+    }
+
+    #[test]
+    fn durable_server_recovers_exact_state_after_crash() {
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                durability: Some(WalConfig::zero_cost()),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let pool = vec![servers[0].addr()];
+            let a = DmNetClient::connect(client_rpc(&net, c0, 100), pool.clone())
+                .await
+                .unwrap();
+            let b = DmNetClient::connect(client_rpc(&net, c1, 100), pool)
+                .await
+                .unwrap();
+
+            // Build up real state: mapped pages, a shared COW ref, a
+            // diverged writer page, a released region.
+            let addr = a.ralloc(3 * 4096).await.unwrap();
+            let data = Bytes::from(
+                (0..3 * 4096u32)
+                    .map(|i| (i % 241) as u8)
+                    .collect::<Vec<_>>(),
+            );
+            a.rwrite(addr, &data).await.unwrap();
+            let shared = a.create_ref(addr, 2 * 4096).await.unwrap();
+            let mapped = b.map_ref(&shared).await.unwrap();
+            b.rwrite(mapped, &Bytes::from_static(b"diverge"))
+                .await
+                .unwrap();
+            let gone = a.ralloc(4096).await.unwrap();
+            a.rfree(gone).await.unwrap();
+
+            let pre_digest = servers[0].pages_digest();
+            let pre_epoch = servers[0].epoch();
+            assert!(servers[0].wal().unwrap().records() > 0, "ops were logged");
+
+            servers[0].crash();
+            let report = servers[0].restart_from_log().await;
+            assert!(!report.torn_tail);
+            assert!(report.records_replayed > 0);
+            assert_eq!(servers[0].recoveries(), 1);
+
+            // Zero lost acknowledged ops, zero resurrected frees: the
+            // memory plane is byte-identical to the pre-crash state.
+            assert_eq!(servers[0].pages_digest(), pre_digest);
+            assert!(
+                servers[0].epoch() > pre_epoch,
+                "epoch-after-restart must advance past everything clients saw"
+            );
+            servers[0].check_invariants_all();
+
+            // Clients keep working against the recovered server: old data
+            // readable, freed region still gone, new ops fine.
+            assert_eq!(a.rread(addr, 3 * 4096).await.unwrap(), data);
+            assert_eq!(&b.rread(mapped, 7).await.unwrap()[..], b"diverge");
+            assert_eq!(
+                a.rread(gone, 1).await.unwrap_err(),
+                DmError::InvalidAddress,
+                "resurrected free"
+            );
+            let post = a.ralloc(4096).await.unwrap();
+            a.rwrite(post, &Bytes::from_static(b"after")).await.unwrap();
+            assert_eq!(&a.rread(post, 5).await.unwrap()[..], b"after");
+            servers[0].check_invariants_all();
         });
     }
 

@@ -418,25 +418,32 @@ impl PageManager {
         let mut cost = OpCost::default();
         // Drop the process's mappings (the fallback when the VaTree is gone:
         // enumerate the translation table rather than walking regions).
-        let vpns: Vec<u64> = self
+        // Sorted: pages drain into the free FIFO in an order determined by
+        // logical state alone, so WAL replay of a `ReleaseProcess` record
+        // reproduces the live FIFO exactly (hash-map iteration order is
+        // per-instance and would diverge between live and recovered PMs).
+        let mut vpns: Vec<u64> = self
             .translator
             .iter()
             .filter(|&((p, _), _)| p == pid.0)
             .map(|((_, vpn), _)| vpn)
             .collect();
+        vpns.sort_unstable();
         for vpn in vpns {
             if let Some(p) = self.translator.remove(pid, vpn) {
                 self.unref(p);
                 cost.refcount_updates += 1;
             }
         }
-        // Release refs it created that nobody consumed yet.
-        let keys: Vec<u64> = self
+        // Release refs it created that nobody consumed yet (sorted for the
+        // same replay-determinism reason as the mappings above).
+        let mut keys: Vec<u64> = self
             .refs
             .iter()
             .filter(|(_, e)| e.owner == Some(pid.0))
             .map(|(&k, _)| k)
             .collect();
+        keys.sort_unstable();
         for key in keys {
             cost.add(self.release_ref(key)?);
         }
@@ -481,6 +488,178 @@ impl PageManager {
         for (p, (&rc, &exp)) in self.refcounts.iter().zip(&expected).enumerate() {
             assert_eq!(rc, exp, "page {p}: rc {rc} != mappings+refs {exp}");
         }
+    }
+
+    /// Append a canonical snapshot of the full state to `out` (the durable
+    /// tier's checkpoint payload, DESIGN.md §12). Canonical means two
+    /// managers with equal logical state produce identical bytes: hash-map
+    /// backed collections are emitted in sorted order, while the free FIFO
+    /// is emitted in queue order because its order *is* logical state
+    /// (future allocations pop from the front). The translator's
+    /// lookup/miss statistics are volatile and excluded.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        out.push(match self.copy_mode {
+            CopyMode::CopyOnWrite => 0,
+            CopyMode::Eager => 1,
+        });
+        out.extend_from_slice(&self.next_pid.to_le_bytes());
+        out.extend_from_slice(&self.next_key.to_le_bytes());
+        out.extend_from_slice(&(self.free.len() as u32).to_le_bytes());
+        for &p in &self.free {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        let used: Vec<u32> = (0..self.pages.len() as u32)
+            .filter(|&p| self.refcounts[p as usize] > 0)
+            .collect();
+        out.extend_from_slice(&(used.len() as u32).to_le_bytes());
+        for p in used {
+            out.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&self.refcounts[p as usize].to_le_bytes());
+            out.extend_from_slice(self.page(p));
+        }
+        let mut pids: Vec<u32> = self.processes.keys().copied().collect();
+        pids.sort_unstable();
+        out.extend_from_slice(&(pids.len() as u32).to_le_bytes());
+        for pid in pids {
+            let tree = &self.processes[&pid];
+            out.extend_from_slice(&pid.to_le_bytes());
+            out.extend_from_slice(&(tree.len() as u32).to_le_bytes());
+            for (start, len) in tree.iter() {
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        let mut xlations: Vec<((u32, u64), PageIdx)> = self.translator.iter().collect();
+        xlations.sort_unstable_by_key(|&(k, _)| k);
+        out.extend_from_slice(&(xlations.len() as u32).to_le_bytes());
+        for ((pid, vpn), p) in xlations {
+            out.extend_from_slice(&pid.to_le_bytes());
+            out.extend_from_slice(&vpn.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        let mut keys: Vec<u64> = self.refs.keys().copied().collect();
+        keys.sort_unstable();
+        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for key in keys {
+            let e = &self.refs[&key];
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.push(e.owner.is_some() as u8);
+            out.extend_from_slice(&e.owner.unwrap_or(0).to_le_bytes());
+            out.extend_from_slice(&(e.pages.len() as u32).to_le_bytes());
+            for &p in &e.pages {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+    }
+
+    /// Canonical snapshot as a fresh buffer (see [`Self::snapshot_into`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Rebuild a manager from a snapshot produced by
+    /// [`Self::snapshot_into`], advancing `pos` past the consumed bytes
+    /// (a multi-shard server concatenates one snapshot per shard).
+    /// `None` on any malformed input.
+    pub fn restore_from(buf: &[u8], pos: &mut usize) -> Option<PageManager> {
+        let mut c = SnapCursor { buf, pos: *pos };
+        let capacity = c.u32()? as usize;
+        let copy_mode = match c.u8()? {
+            0 => CopyMode::CopyOnWrite,
+            1 => CopyMode::Eager,
+            _ => return None,
+        };
+        let mut pm = PageManager::new(capacity, copy_mode);
+        pm.next_pid = c.u32()?;
+        pm.next_key = c.u64()?;
+        pm.free.clear();
+        for _ in 0..c.u32()? {
+            let p = c.u32()?;
+            if p as usize >= capacity {
+                return None;
+            }
+            pm.free.push_back(p);
+        }
+        for _ in 0..c.u32()? {
+            let p = c.u32()? as usize;
+            if p >= capacity {
+                return None;
+            }
+            pm.refcounts[p] = c.u32()?;
+            pm.pages[p] = Some(c.take(PAGE_SIZE)?.to_vec().into_boxed_slice());
+        }
+        for _ in 0..c.u32()? {
+            let pid = c.u32()?;
+            let mut tree = VaTree::new();
+            for _ in 0..c.u32()? {
+                let start = c.u64()?;
+                let len = c.u64()?;
+                tree.restore_range(start, len);
+            }
+            pm.processes.insert(pid, tree);
+        }
+        for _ in 0..c.u32()? {
+            let pid = c.u32()?;
+            let vpn = c.u64()?;
+            let p = c.u32()?;
+            pm.translator.insert(GlobalPid(pid), vpn, p);
+        }
+        for _ in 0..c.u32()? {
+            let key = c.u64()?;
+            let len = c.u64()?;
+            let has_owner = c.u8()? != 0;
+            let owner = c.u32()?;
+            let npages = c.u32()? as usize;
+            let mut pages = Vec::with_capacity(npages);
+            for _ in 0..npages {
+                pages.push(c.u32()?);
+            }
+            pm.refs.insert(
+                key,
+                RefEntry {
+                    pages,
+                    len,
+                    owner: has_owner.then_some(owner),
+                },
+            );
+        }
+        *pos = c.pos;
+        Some(pm)
+    }
+
+    /// FNV-1a digest of the canonical snapshot — equal digests mean equal
+    /// logical state (recovery oracles compare recovered vs shadow).
+    pub fn state_digest(&self) -> u64 {
+        crate::wal::fnv1a(&self.snapshot())
+    }
+}
+
+struct SnapCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapCursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 }
 
@@ -731,6 +910,64 @@ mod tests {
         // The crasher's own ref pin is gone.
         assert_eq!(pm.release_ref(key).unwrap_err(), DmError::InvalidRef);
         pm.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_everything() {
+        let (mut pm, pid) = pm();
+        let mapper = pm.register_process();
+        let va = pm.ralloc(pid, 3 * PS).unwrap();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        pm.write(pid, va, &data).unwrap();
+        let (key, _) = pm.create_ref(pid, va, 2 * PS).unwrap();
+        let (mva, _, _) = pm.map_ref(mapper, key).unwrap();
+        pm.write(mapper, mva, b"cow!").unwrap(); // diverge one page
+        pm.put_ref(&[7u8; 100], Some(mapper)).unwrap();
+
+        let snap = pm.snapshot();
+        let mut pos = 0;
+        let mut back = PageManager::restore_from(&snap, &mut pos).unwrap();
+        assert_eq!(pos, snap.len(), "restore consumes the whole snapshot");
+        back.check_invariants();
+        assert_eq!(back.state_digest(), pm.state_digest());
+        // Logical state identical: reads, free count, and future behavior.
+        assert_eq!(back.read(pid, va, 3 * PS).unwrap(), data);
+        assert_eq!(&back.read(mapper, mva, 4).unwrap(), b"cow!");
+        assert_eq!(back.free_pages(), pm.free_pages());
+        assert_eq!(
+            back.register_process().0,
+            pm.register_process().0,
+            "next_pid restored"
+        );
+        // Free-FIFO order restored: identical allocation sequence.
+        let (ka, _) = back.put_ref(&[1], None).unwrap();
+        let (kb, _) = pm.put_ref(&[1], None).unwrap();
+        assert_eq!(ka, kb, "next_key restored");
+        assert_eq!(back.state_digest(), pm.state_digest());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let (mut pm, pid) = pm();
+        let va = pm.ralloc(pid, PS).unwrap();
+        pm.write(pid, va, b"x").unwrap();
+        let snap = pm.snapshot();
+        // Truncations at every boundary fail cleanly.
+        for cut in [0, 1, 4, snap.len() / 2, snap.len() - 1] {
+            let mut pos = 0;
+            assert!(
+                PageManager::restore_from(&snap[..cut], &mut pos).is_none(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Out-of-range page index fails.
+        let mut bad = snap.clone();
+        bad[0] = 1; // capacity 1 page, but indices reference more
+        bad[1] = 0;
+        bad[2] = 0;
+        bad[3] = 0;
+        let mut pos = 0;
+        assert!(PageManager::restore_from(&bad, &mut pos).is_none());
     }
 
     #[test]

@@ -33,10 +33,25 @@ use telemetry::SpanKind;
 
 use crate::page_manager::{OpCost, PageManager};
 use crate::proto::{self, err_response, ok_response, req, Reader, Writer};
+use crate::wal::{Record, Wal, WalConfig};
 
 /// Top bits of DM virtual addresses / ref keys carry the owning shard.
 const SHARD_SHIFT: u32 = 48;
 const LOW_MASK: u64 = (1u64 << SHARD_SHIFT) - 1;
+
+/// Version byte of the whole-server checkpoint snapshot (DESIGN.md §12).
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// What [`DmServer::restart_from_log`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryReport {
+    /// Records replayed from the valid log prefix.
+    pub records_replayed: usize,
+    /// Whether a torn/corrupt tail was truncated.
+    pub torn_tail: bool,
+    /// Log size after repair.
+    pub log_bytes: u64,
+}
 
 /// DM server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +87,14 @@ pub struct DmServerConfig {
     /// the wire format and event schedule are then identical to a server
     /// built before leases existed.
     pub lease_ttl: Option<Duration>,
+    /// Durable tier (DESIGN.md §12): when set, every acknowledged mutating
+    /// op appends a checksummed record to a write-ahead log *before* its
+    /// response is sent, and [`DmServer::restart_from_log`] rebuilds the
+    /// exact acknowledged state after a crash. The default comes from
+    /// [`WalConfig::from_env`]: `None` unless `DM_DURABLE=1`, which
+    /// selects the zero-cost media model (full bookkeeping, unchanged
+    /// schedule — committed CSVs stay byte-identical).
+    pub durability: Option<WalConfig>,
 }
 
 impl Default for DmServerConfig {
@@ -87,6 +110,7 @@ impl Default for DmServerConfig {
             dispatch_cpu: Duration::from_nanos(400),
             hw_translation: false,
             lease_ttl: None,
+            durability: WalConfig::from_env(),
         }
     }
 }
@@ -120,6 +144,15 @@ pub struct DmServer {
     epoch: Cell<u64>,
     /// Set by [`DmServer::shutdown`]; stops the lease sweeper.
     stopping: Cell<bool>,
+    /// Whether a lease-sweeper task is currently live. Crash cancels the
+    /// sweeper outright (it disarms and exits at its next tick); restart
+    /// paths re-arm a fresh one, and this flag keeps re-arming idempotent.
+    sweeper_armed: Cell<bool>,
+    /// The durable tier's write-ahead log, present when
+    /// `config.durability` is set.
+    wal: Option<Wal>,
+    /// Completed `restart_from_log` recoveries (observability).
+    recoveries: Cell<u64>,
     translation_ns: Cell<u64>,
     op_ns: Cell<u64>,
 }
@@ -175,29 +208,44 @@ impl DmServer {
             leases_reclaimed: Cell::new(0),
             epoch: Cell::new(0),
             stopping: Cell::new(false),
+            sweeper_armed: Cell::new(false),
+            wal: config
+                .durability
+                .map(|w| Wal::new(format!("dmwal{}", node.0), w)),
+            recoveries: Cell::new(0),
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
         });
         server.register_handlers();
-        if let Some(ttl) = config.lease_ttl {
-            // Lease sweeper: reclaim expired processes. Holds only a Weak
-            // so dropping the server's last Rc also stops the sweeper.
-            let weak = Rc::downgrade(&server);
-            simcore::spawn(async move {
-                loop {
-                    simcore::sleep(ttl / 2).await;
-                    let Some(srv) = weak.upgrade() else { return };
-                    if srv.stopping.get() {
-                        return;
-                    }
-                    if srv.rpc.is_offline() {
-                        continue; // a crashed server reclaims nothing
-                    }
-                    srv.sweep_expired_leases();
-                }
-            });
-        }
+        server.spawn_sweeper();
         server
+    }
+
+    /// Arm the lease sweeper (no-op when leases are off or one is already
+    /// armed). The task holds only a Weak so dropping the server's last
+    /// `Rc` also stops it; a crash cancels it outright at its next tick
+    /// (it must not stay armed on a dead replica), and the restart paths
+    /// call this again to re-arm.
+    fn spawn_sweeper(self: &Rc<Self>) {
+        let Some(ttl) = self.config.lease_ttl else {
+            return;
+        };
+        if self.sweeper_armed.get() {
+            return;
+        }
+        self.sweeper_armed.set(true);
+        let weak = Rc::downgrade(self);
+        simcore::spawn(async move {
+            loop {
+                simcore::sleep(ttl / 2).await;
+                let Some(srv) = weak.upgrade() else { return };
+                if srv.stopping.get() || srv.rpc.is_offline() {
+                    srv.sweeper_armed.set(false);
+                    return;
+                }
+                srv.sweep_expired_leases();
+            }
+        });
     }
 
     /// Reclaim every process whose lease expired (called by the sweeper;
@@ -222,6 +270,10 @@ impl DmServer {
             self.leases_reclaimed.set(self.leases_reclaimed.get() + 1);
             // Reclamation drops refs: caches filled before it are suspect.
             self.epoch.set(self.epoch.get() + 1);
+            // The sweeper acts outside any request, so it cannot await the
+            // media; the append is charged as free background time (the
+            // reclaim is not on any acked-response path).
+            self.persist_untimed(|| Record::ReleaseProcess { pid });
             // The sweeper acts on its own, not on behalf of any request,
             // so each reclamation becomes a standalone trace.
             telemetry::root_event(
@@ -245,10 +297,12 @@ impl DmServer {
         self.rpc.set_offline(true);
     }
 
-    /// Recover from [`DmServer::crash`]. Every live lease is extended by a
-    /// full TTL from now so clients that outlived the crash can renew
-    /// before the sweeper runs again.
-    pub fn restart(&self) {
+    /// Recover from [`DmServer::crash`] with in-memory state intact (the
+    /// fail-stop model of DESIGN.md §8; see [`DmServer::restart_from_log`]
+    /// for the durable-tier recovery that rebuilds state from the log).
+    /// Every live lease is extended by a full TTL from now so clients that
+    /// outlived the crash can renew before the sweeper runs again.
+    pub fn restart(self: &Rc<Self>) {
         self.rpc.set_offline(false);
         if let Some(ttl) = self.config.lease_ttl {
             let grace = simcore::now() + ttl;
@@ -256,6 +310,7 @@ impl DmServer {
                 *exp = (*exp).max(grace);
             }
         }
+        self.spawn_sweeper();
     }
 
     /// Whether the server is currently crashed.
@@ -266,6 +321,338 @@ impl DmServer {
     /// Processes reclaimed by lease expiry so far.
     pub fn leases_reclaimed(&self) -> u64 {
         self.leases_reclaimed.get()
+    }
+
+    /// Whether a lease-sweeper task is live (observability: a crashed
+    /// replica must report `false` once its sweeper ticks — crash cancels
+    /// the sweeper outright rather than leaving it armed forever).
+    pub fn sweeper_armed(&self) -> bool {
+        self.sweeper_armed.get()
+    }
+
+    // -- durable tier (DESIGN.md §12) ---------------------------------------
+
+    /// The write-ahead log, when durability is on (tests and chaos use it
+    /// for corruption injection and log statistics).
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Completed [`DmServer::restart_from_log`] recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.get()
+    }
+
+    /// FNV-1a digest of every shard's canonical page-manager snapshot —
+    /// the whole memory-plane state (pages, refcounts, VA trees, refs,
+    /// free-list order) excluding volatile serving state (epoch, leases,
+    /// owners, the round-robin allocation cursor). Recovery oracles
+    /// compare this across crash/restart: log-before-ack makes the
+    /// mutation and its record atomic, so the digest after
+    /// `restart_from_log` equals the digest at the instant of a clean
+    /// crash.
+    pub fn pages_digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        for s in &self.shards {
+            s.pm.borrow().snapshot_into(&mut buf);
+        }
+        crate::wal::fnv1a(&buf)
+    }
+
+    /// Canonical whole-server checkpoint: version, shard count, epoch,
+    /// owner table (sorted by pid), then each shard's page-manager
+    /// snapshot. Leases and the allocation cursor are volatile by design —
+    /// recovery re-grants full-TTL leases and restarts the cursor (failed
+    /// ops advance the cursor without producing records, so it is not
+    /// reconstructible from the log; it is only a placement hint).
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = vec![SNAPSHOT_VERSION];
+        out.extend_from_slice(&(self.shards.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.epoch.get().to_le_bytes());
+        let mut owners: Vec<(u32, simnet::Addr)> =
+            self.owners.borrow().iter().map(|(&p, &a)| (p, a)).collect();
+        owners.sort_unstable_by_key(|&(p, _)| p);
+        out.extend_from_slice(&(owners.len() as u32).to_le_bytes());
+        for (pid, addr) in owners {
+            out.extend_from_slice(&pid.to_le_bytes());
+            out.extend_from_slice(&addr.node.0.to_le_bytes());
+            out.extend_from_slice(&addr.port.to_le_bytes());
+        }
+        for s in &self.shards {
+            s.pm.borrow().snapshot_into(&mut out);
+        }
+        out
+    }
+
+    /// Inverse of [`Self::snapshot_bytes`], applied during replay of a
+    /// [`Record::Checkpoint`]. Panics on malformed input: the checkpoint
+    /// sits under the log's CRC, so damage here means the scan accepted a
+    /// record it should not have.
+    fn restore_snapshot(&self, buf: &[u8]) {
+        const BAD: &str = "replay: corrupt checkpoint";
+        assert!(buf.len() >= 3, "{BAD}");
+        assert_eq!(buf[0], SNAPSHOT_VERSION, "{BAD}");
+        let shard_count = u16::from_le_bytes(buf[1..3].try_into().expect(BAD)) as usize;
+        assert_eq!(shard_count, self.shards.len(), "{BAD}");
+        let mut pos = 3usize;
+        let take = |pos: &mut usize, n: usize| -> &[u8] {
+            assert!(*pos + n <= buf.len(), "{BAD}");
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            s
+        };
+        let epoch = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+        self.epoch.set(epoch);
+        let n_owners = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+        let mut owners = self.owners.borrow_mut();
+        owners.clear();
+        for _ in 0..n_owners {
+            let pid = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+            let node = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+            let port = u16::from_le_bytes(take(&mut pos, 2).try_into().expect(BAD));
+            owners.insert(
+                pid,
+                simnet::Addr {
+                    node: NodeId(node),
+                    port,
+                },
+            );
+        }
+        drop(owners);
+        for s in &self.shards {
+            let pm = PageManager::restore_from(buf, &mut pos).expect(BAD);
+            *s.pm.borrow_mut() = pm;
+        }
+        assert_eq!(pos, buf.len(), "{BAD}");
+    }
+
+    /// Append `make()` to the log synchronously (atomic with the mutation
+    /// the caller just applied — the simulator is single-threaded), then
+    /// charge the media time. Zero-cost media returns without yielding, so
+    /// the executor schedule is untouched. Compaction, when due, happens
+    /// here — between records of one op it can never trigger because the
+    /// multi-record path uses [`Self::persist2`].
+    async fn persist(&self, make: impl FnOnce() -> Record) {
+        let Some(w) = &self.wal else { return };
+        let mut n = w.push(&make());
+        if w.should_compact() {
+            n += w.compact(self.snapshot_bytes());
+        }
+        w.media().append(n).await;
+    }
+
+    /// [`Self::persist`] for composite ops (WRITE_CREATE_REF): both
+    /// records land before the compaction check, so a checkpoint can never
+    /// split one op's records (replay would double-apply half of it).
+    async fn persist2(&self, make: impl FnOnce() -> (Record, Record)) {
+        let Some(w) = &self.wal else { return };
+        let (a, b) = make();
+        let mut n = w.push(&a) + w.push(&b);
+        if w.should_compact() {
+            n += w.compact(self.snapshot_bytes());
+        }
+        w.media().append(n).await;
+    }
+
+    /// Synchronous persist for non-request paths (the lease sweeper): the
+    /// record is installed and counted but the media time is not awaited.
+    fn persist_untimed(&self, make: impl FnOnce() -> Record) {
+        let Some(w) = &self.wal else { return };
+        let mut n = w.push(&make());
+        if w.should_compact() {
+            n += w.compact(self.snapshot_bytes());
+        }
+        w.media().append_untimed(n);
+    }
+
+    /// Apply one replayed record. Mutations `expect`: the record passed
+    /// the CRC/sequence scan, so it describes an op that succeeded before
+    /// the crash, and the deterministic page managers must accept it
+    /// again. Recorded result values (`va`, `key`) are divergence
+    /// witnesses checked under `debug_assertions`.
+    fn replay(&self, rec: &Record) {
+        match rec {
+            Record::Register { node, port } => {
+                let mut pid = None;
+                for s in &self.shards {
+                    let p = s.pm.borrow_mut().register_process();
+                    match pid {
+                        None => pid = Some(p),
+                        Some(prev) => assert_eq!(prev, p, "replay: shard pid divergence"),
+                    }
+                }
+                let pid = pid.expect("at least one shard");
+                self.owners.borrow_mut().insert(
+                    pid.0,
+                    simnet::Addr {
+                        node: NodeId(*node),
+                        port: *port,
+                    },
+                );
+            }
+            Record::Alloc {
+                shard,
+                pid,
+                len,
+                va,
+            } => {
+                let got = self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .ralloc(GlobalPid(*pid), *len)
+                    .expect("replay: ralloc");
+                debug_assert_eq!(got, *va, "replay: alloc divergence");
+            }
+            Record::Free { shard, pid, va } => {
+                self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .rfree(GlobalPid(*pid), *va)
+                    .expect("replay: rfree");
+            }
+            Record::Write {
+                shard,
+                pid,
+                va,
+                data,
+            } => {
+                self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .write(GlobalPid(*pid), *va, data)
+                    .expect("replay: write");
+            }
+            Record::CreateRef {
+                shard,
+                pid,
+                va,
+                len,
+                key,
+            } => {
+                let (got, _) = self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .create_ref(GlobalPid(*pid), *va, *len)
+                    .expect("replay: create_ref");
+                debug_assert_eq!(got, *key, "replay: create_ref divergence");
+            }
+            Record::MapRef {
+                shard,
+                pid,
+                key,
+                va,
+            } => {
+                let (got, _, _) = self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .map_ref(GlobalPid(*pid), *key)
+                    .expect("replay: map_ref");
+                debug_assert_eq!(got, *va, "replay: map_ref divergence");
+            }
+            Record::ReleaseRef { shard, key } => {
+                self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .release_ref(*key)
+                    .expect("replay: release_ref");
+                self.epoch.set(self.epoch.get() + 1);
+            }
+            Record::PutRef {
+                shard,
+                pid,
+                key,
+                data,
+            } => {
+                let (got, _) = self.shards[*shard as usize]
+                    .pm
+                    .borrow_mut()
+                    .put_ref(data, Some(GlobalPid(*pid)))
+                    .expect("replay: put_ref");
+                debug_assert_eq!(got, *key, "replay: put_ref divergence");
+            }
+            Record::ReleaseProcess { pid } => {
+                for s in &self.shards {
+                    // Idempotent, exactly like the live sweep: shards that
+                    // never saw the pid return an error we ignore.
+                    let _ = s.pm.borrow_mut().release_process(GlobalPid(*pid));
+                }
+                self.owners.borrow_mut().remove(pid);
+                self.epoch.set(self.epoch.get() + 1);
+            }
+            Record::Checkpoint { snapshot } => self.restore_snapshot(snapshot),
+        }
+    }
+
+    /// Crash-consistent recovery: rebuild the whole server from its
+    /// write-ahead log and come back online.
+    ///
+    /// Steps: charge one sequential media scan of the log; validate it
+    /// (CRC, framing, sequence continuity) and truncate any torn tail;
+    /// discard all volatile state (fresh page managers, empty owner/lease
+    /// tables, epoch 0, allocation cursor 0); replay the valid prefix
+    /// (a checkpoint record restores its snapshot, subsequent records
+    /// re-apply on top); advance the epoch once more past the replayed
+    /// value so client caches filled before the crash can never be
+    /// trusted across it; re-grant every recovered owner a full-TTL lease
+    /// (crashed clients stop renewing and get swept as usual); come back
+    /// online and re-arm the sweeper.
+    ///
+    /// The recovery invariant (tested by `tests/recovery.rs` and the
+    /// chaos `server-crash-recovery` class): zero lost acknowledged ops,
+    /// zero resurrected frees — the rebuilt state is exactly the
+    /// acknowledged pre-crash state.
+    ///
+    /// # Panics
+    /// Panics if durability is off.
+    pub async fn restart_from_log(self: &Rc<Self>) -> RecoveryReport {
+        let w = self.wal.as_ref().expect("restart_from_log: durability off");
+        w.media().scan(w.log_bytes()).await;
+        let report = w.scan();
+        w.repair(&report);
+        for s in &self.shards {
+            let (cap, mode) = {
+                let pm = s.pm.borrow();
+                (pm.capacity_pages(), pm.copy_mode())
+            };
+            *s.pm.borrow_mut() = PageManager::new(cap, mode);
+        }
+        self.owners.borrow_mut().clear();
+        self.leases.borrow_mut().clear();
+        self.epoch.set(0);
+        self.next_alloc.set(0);
+        for rec in &report.records {
+            self.replay(rec);
+        }
+        // Epoch-after-restart rule: one conservative bump past everything
+        // the replay reconstructed, so any response a client sees after
+        // recovery reports a strictly newer epoch than any it saw before
+        // the crash, invalidating its cache.
+        self.epoch.set(self.epoch.get() + 1);
+        if let Some(ttl) = self.config.lease_ttl {
+            let exp = simcore::now() + ttl;
+            let mut leases = self.leases.borrow_mut();
+            for &pid in self.owners.borrow().keys() {
+                leases.insert(pid, exp);
+            }
+        }
+        self.rpc.set_offline(false);
+        self.recoveries.set(self.recoveries.get() + 1);
+        self.spawn_sweeper();
+        telemetry::root_event(
+            SpanKind::LeaseReclaim,
+            "dm.recovery",
+            self.addr().node.0,
+            &[
+                ("records", report.records.len() as u64),
+                ("torn", report.torn as u64),
+                ("epoch", self.epoch.get()),
+            ],
+        );
+        RecoveryReport {
+            records_replayed: report.records.len(),
+            torn_tail: report.torn,
+            log_bytes: w.log_bytes(),
+        }
     }
 
     /// Tear down: unregister handlers so the `Rc` cycle through them is
@@ -482,6 +869,11 @@ impl DmServer {
                     pid.expect("at least one shard")
                 };
                 self.owners.borrow_mut().insert(pid.0, src);
+                self.persist(|| Record::Register {
+                    node: src.node.0,
+                    port: src.port,
+                })
+                .await;
                 self.charge(0, OpCost::default(), 0).await;
                 // Only lease-granting servers append the TTL: the response
                 // (and thus the packet schedule) of a lease-free server is
@@ -513,6 +905,13 @@ impl DmServer {
                 let len = r.u64()?;
                 let shard = self.pick_alloc_shard();
                 let va = self.shards[shard].pm.borrow_mut().ralloc(pid, len)?;
+                self.persist(|| Record::Alloc {
+                    shard: shard as u16,
+                    pid: pid.0,
+                    len,
+                    va,
+                })
+                .await;
                 self.charge(shard, OpCost::default(), 0).await;
                 Ok(self.ok(&Writer::new().u64(self.tag(shard, va)).finish()))
             }
@@ -522,6 +921,12 @@ impl DmServer {
                 self.check_owner(pid, src)?;
                 let (shard, va) = self.route(r.u64()?)?;
                 let cost = self.shards[shard].pm.borrow_mut().rfree(pid, va)?;
+                self.persist(|| Record::Free {
+                    shard: shard as u16,
+                    pid: pid.0,
+                    va,
+                })
+                .await;
                 self.charge(shard, cost, cost.refcount_updates).await;
                 Ok(self.ok(&[]))
             }
@@ -535,6 +940,14 @@ impl DmServer {
                     .pm
                     .borrow_mut()
                     .create_ref(pid, va, len)?;
+                self.persist(|| Record::CreateRef {
+                    shard: shard as u16,
+                    pid: pid.0,
+                    va,
+                    len,
+                    key,
+                })
+                .await;
                 let pages = len.div_ceil(PAGE_SIZE as u64);
                 self.charge(shard, cost, pages).await;
                 Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
@@ -545,6 +958,13 @@ impl DmServer {
                 self.check_owner(pid, src)?;
                 let (shard, key) = self.route(r.u64()?)?;
                 let (va, len, cost) = self.shards[shard].pm.borrow_mut().map_ref(pid, key)?;
+                self.persist(|| Record::MapRef {
+                    shard: shard as u16,
+                    pid: pid.0,
+                    key,
+                    va,
+                })
+                .await;
                 self.charge(shard, cost, cost.refcount_updates).await;
                 Ok(self.ok(&Writer::new().u64(self.tag(shard, va)).u64(len).finish()))
             }
@@ -570,6 +990,13 @@ impl DmServer {
                 let data = r.rest();
                 let translations = (data.len() as u64).div_ceil(PAGE_SIZE as u64).max(1);
                 let cost = self.shards[shard].pm.borrow_mut().write(pid, va, data)?;
+                self.persist(|| Record::Write {
+                    shard: shard as u16,
+                    pid: pid.0,
+                    va,
+                    data: data.to_vec(),
+                })
+                .await;
                 self.charge(shard, cost, translations).await;
                 // Storing into pinned pages occupies DRAM.
                 self.mem.touch(data.len() as u64).await;
@@ -584,6 +1011,11 @@ impl DmServer {
                 // caches filled before this point stop serving it. The
                 // releaser's own response already carries the new epoch.
                 self.epoch.set(self.epoch.get() + 1);
+                self.persist(|| Record::ReleaseRef {
+                    shard: shard as u16,
+                    key,
+                })
+                .await;
                 self.charge(shard, cost, cost.refcount_updates).await;
                 Ok(self.ok(&[]))
             }
@@ -602,6 +1034,24 @@ impl DmServer {
                     let (key, ccost) = pm.create_ref(pid, va, len)?;
                     (key, wcost, ccost)
                 };
+                self.persist2(|| {
+                    (
+                        Record::Write {
+                            shard: shard as u16,
+                            pid: pid.0,
+                            va,
+                            data: data.to_vec(),
+                        },
+                        Record::CreateRef {
+                            shard: shard as u16,
+                            pid: pid.0,
+                            va,
+                            len,
+                            key,
+                        },
+                    )
+                })
+                .await;
                 let mut cost = wcost;
                 cost.add(ccost);
                 self.charge(shard, cost, translations).await;
@@ -629,6 +1079,13 @@ impl DmServer {
                     .pm
                     .borrow_mut()
                     .put_ref(data, Some(owner))?;
+                self.persist(|| Record::PutRef {
+                    shard: shard as u16,
+                    pid: owner.0,
+                    key,
+                    data: data.to_vec(),
+                })
+                .await;
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);

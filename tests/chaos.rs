@@ -13,7 +13,7 @@ use bench::chaos::{run_chain_case, run_cow_case, sweep, sweep_parallel, FaultCla
 
 #[test]
 fn bounded_sweep_holds_all_invariants() {
-    // 6 seeds x 4 fault classes x 3 cases, with a determinism double-run
+    // 6 seeds x 5 fault classes x 3 cases, with a determinism double-run
     // every 3rd seed.
     let out = sweep(0..6, 3);
     assert!(
@@ -22,7 +22,7 @@ fn bounded_sweep_holds_all_invariants() {
         out.violations.join("\n")
     );
     assert!(out.completed > 0, "no request ever completed");
-    assert!(out.cases >= 6 * 4 * 3, "sweep ran {} cases", out.cases);
+    assert!(out.cases >= 6 * 5 * 3, "sweep ran {} cases", out.cases);
 }
 
 #[test]
@@ -104,4 +104,25 @@ fn server_crash_class_reclaims_crashed_client() {
         r.completed > 0,
         "nothing completed around the crash windows"
     );
+}
+
+#[test]
+fn server_crash_recovery_rebuilds_acknowledged_state() {
+    // The durable-tier fault class: every server crash heals through
+    // `restart_from_log`, so beyond the shared invariants the case checks
+    // digest-exact recovery and byte-exact readback of every acknowledged
+    // put (DESIGN.md §12). A handful of seeds hits crash windows at many
+    // different log lengths.
+    for seed in [3, 11, 29] {
+        let r = run_cow_case(FaultClass::ServerCrashRecovery, seed);
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed} violations: {:?}",
+            r.violations
+        );
+        assert!(
+            r.completed > 0,
+            "seed {seed}: nothing completed around the recovery windows"
+        );
+    }
 }
