@@ -39,6 +39,18 @@ impl SystemKind {
     }
 }
 
+/// How DmNet endpoints place `put_ref` data across the DM pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmPlacement {
+    /// Round-robin across the pool (paper §VI-A; the default, preserving
+    /// the pre-sharding wire behavior exactly).
+    RoundRobin,
+    /// Consistent-hash sharded placement with ownership migration
+    /// (DESIGN.md §13). Every endpoint builds the same ring off the
+    /// cluster seed and routes refs locally; workloads ride it unchanged.
+    Sharded(dmnet::ShardConfig),
+}
+
 /// One compute server: node id plus its CPU and memory models.
 #[derive(Clone)]
 pub struct ServiceNode {
@@ -79,6 +91,9 @@ pub struct ClusterConfig {
     /// Defaults to [`dmnet::WalConfig::from_env`] (`DM_DURABLE=1` turns on
     /// the zero-cost log, otherwise off).
     pub dm_durability: Option<dmnet::WalConfig>,
+    /// Ref placement policy for DmNet endpoints (DESIGN.md §13). Defaults
+    /// to [`DmPlacement::RoundRobin`], the paper's scheme.
+    pub dm_placement: DmPlacement,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +108,7 @@ impl Default for ClusterConfig {
             lease_ttl: None,
             dm_client_cache: dmnet::CacheConfig::all_on(),
             dm_durability: dmnet::WalConfig::from_env(),
+            dm_placement: DmPlacement::RoundRobin,
         }
     }
 }
@@ -106,6 +122,9 @@ pub struct Cluster {
     /// Which system this cluster runs.
     pub kind: SystemKind,
     config: ClusterConfig,
+    /// Simulation seed the cluster was built with; sharded endpoints
+    /// derive their placement ring from it.
+    seed: u64,
     nodes: RefCell<Vec<ServiceNode>>,
     /// DM servers (DmNet only).
     pub dm_servers: Vec<Rc<DmServer>>,
@@ -157,7 +176,13 @@ impl Cluster {
                     durability: config.dm_durability,
                     ..Default::default()
                 };
-                for i in 0..n_dm_servers.max(1) {
+                // A DmNet cluster without memory servers is a configuration
+                // bug; fail loudly instead of silently provisioning one.
+                assert!(
+                    n_dm_servers >= 1,
+                    "DmNet cluster needs at least one DM server (got 0)"
+                );
+                for i in 0..n_dm_servers {
                     let node = net.add_node(format!("dm{i}"), NicConfig::default());
                     let mem = NodeMemory::with_defaults(format!("dm{i}"), params.clone());
                     let s = DmServer::start(&net, node, mem, cfg);
@@ -185,6 +210,7 @@ impl Cluster {
             params,
             kind,
             config,
+            seed,
             nodes: RefCell::new(Vec::new()),
             dm_servers,
             dm_pool,
@@ -321,6 +347,15 @@ impl Cluster {
                 let srv = s.clone();
                 reg.register_gauge(format!("dmserver.{i}.recoveries"), move || srv.recoveries());
             }
+            // Sharded-plane counters (DESIGN.md §13). `ops` counts every
+            // request the server dispatched, so the gauge doubles as the
+            // per-shard load-balance view even with sharding off.
+            let srv = s.clone();
+            reg.register_gauge(format!("dm.shard.{i}.ops"), move || srv.ops_served());
+            let srv = s.clone();
+            reg.register_gauge(format!("dm.shard.{i}.migrations"), move || srv.migrations());
+            let srv = s.clone();
+            reg.register_gauge(format!("dm.shard.{i}.redirects"), move || srv.redirects());
         }
         if let Some(f) = &self.fabric {
             let g = f.gfam().clone();
@@ -373,12 +408,26 @@ impl Cluster {
         let ep = match self.kind {
             SystemKind::Erpc => DmRpc::baseline(rpc),
             SystemKind::DmNet => {
-                let dm = DmNetClient::connect_with(
-                    rpc.clone(),
-                    self.dm_pool.clone(),
-                    self.config.dm_client_cache,
-                )
-                .await
+                let dm = match self.config.dm_placement {
+                    DmPlacement::RoundRobin => {
+                        DmNetClient::connect_with(
+                            rpc.clone(),
+                            self.dm_pool.clone(),
+                            self.config.dm_client_cache,
+                        )
+                        .await
+                    }
+                    DmPlacement::Sharded(shard) => {
+                        DmNetClient::connect_sharded(
+                            rpc.clone(),
+                            self.dm_pool.clone(),
+                            self.config.dm_client_cache,
+                            shard,
+                            self.seed,
+                        )
+                        .await
+                    }
+                }
                 .expect("DM pool registration");
                 let handle = DmHandle::Net(Rc::new(dm));
                 match self.config.threshold {

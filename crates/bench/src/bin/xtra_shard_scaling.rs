@@ -1,0 +1,7 @@
+//! DM-plane shard scaling sweep (DESIGN.md §13): emits
+//! `results/xtra_shard_scaling.csv`, `results/BENCH_shard_scaling.json`
+//! and `results/BENCH_fig_throughput.json`.
+
+fn main() {
+    bench::shard_scaling::run();
+}

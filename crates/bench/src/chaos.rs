@@ -580,6 +580,193 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
     }
 }
 
+/// Sharded DM plane under one fault class (DESIGN.md §13): three DM
+/// servers, three consistent-hash clients doing put/read/migrate/release
+/// cycles — so every fault window can hit a MIGRATE mid-flight. Checks on
+/// top of the shared invariants:
+///
+/// * a successful post-migration read is byte-exact (the transfer, the
+///   redirect tombstone and the relocation cache never corrupt data);
+/// * a MIGRATE that faults is atomic — the source keeps serving the gkey,
+///   and any duplicate the destination installed is owner-attributed, so
+///   the lease teardown reclaims it (the free-pages check proves it);
+/// * under [`FaultClass::ServerCrashRecovery`] the gkey bindings and
+///   tombstones are part of the durable state the digest oracle replays.
+pub fn run_sharded_case(fault: FaultClass, seed: u64) -> CaseResult {
+    const REF_LEN: usize = 2048;
+    let sim = Sim::new();
+    let (completed, errors, checksum, violations) = sim.block_on(async move {
+        let net = Network::new(FabricConfig::default(), seed);
+        let params = ModelParams::new();
+        let dm_nodes: Vec<NodeId> = (0..3)
+            .map(|i| net.add_node(format!("dm{i}"), NicConfig::default()))
+            .collect();
+        let servers = dmnet::start_pool(
+            &net,
+            &dm_nodes,
+            &params,
+            DmServerConfig {
+                capacity_pages: 4096,
+                lease_ttl: Some(LEASE_TTL),
+                // Explicit per-class durability keeps the fingerprints
+                // independent of `DM_DURABLE` (see `run_chain_case`).
+                durability: (fault == FaultClass::ServerCrashRecovery)
+                    .then(dmnet::WalConfig::zero_cost),
+                ..Default::default()
+            },
+        );
+        let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+        let mut clients = Vec::new();
+        let mut client_nodes = Vec::new();
+        for i in 0..3 {
+            let node = net.add_node(format!("c{i}"), NicConfig::default());
+            let rpc = RpcBuilder::new(&net, node, 100)
+                .config(chaos_rpc_config())
+                .build();
+            clients.push(Rc::new(
+                DmNetClient::connect_sharded(
+                    rpc,
+                    pool.clone(),
+                    CacheConfig::all_on(),
+                    dmnet::ShardConfig::default(),
+                    seed,
+                )
+                .await
+                .expect("fault-free connect"),
+            ));
+            client_nodes.push(node);
+        }
+        let capacity: usize = servers.iter().map(|s| s.capacity_pages_total()).sum();
+
+        // Fault candidates: every client↔DM link plus the DM↔DM links the
+        // MIGRATE transfers ride.
+        let mut links: Vec<(NodeId, NodeId)> = client_nodes
+            .iter()
+            .flat_map(|&c| dm_nodes.iter().map(move |&d| (c, d)))
+            .collect();
+        links.extend(
+            dm_nodes
+                .iter()
+                .flat_map(|&a| dm_nodes.iter().map(move |&b| (a, b)))
+                .filter(|(a, b)| a != b),
+        );
+        let stop = Rc::new(Cell::new(false));
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
+        spawn_fault_driver(
+            net.clone(),
+            links,
+            servers.clone(),
+            fault,
+            SimRng::new(seed ^ 0xFA11),
+            stop.clone(),
+            violations.clone(),
+        );
+        if fault.crashes_servers() {
+            // One client fail-stops mid-run: its gkeys (wherever migration
+            // put them) must be lease-reclaimed on every shard.
+            let victim = clients[2].clone();
+            simcore::spawn(async move {
+                simcore::sleep(Duration::from_micros(800)).await;
+                victim.simulate_crash();
+            });
+        }
+
+        let m = {
+            let clients = clients.clone();
+            let checksum = checksum.clone();
+            let violations = violations.clone();
+            run_closed_loop(
+                3,
+                Duration::from_micros(100),
+                Duration::from_micros(1500),
+                Rc::new(move |w: usize, i: u64| {
+                    let c = clients[w % clients.len()].clone();
+                    let checksum = checksum.clone();
+                    let violations = violations.clone();
+                    async move {
+                        let fill = (w as u8).wrapping_mul(37).wrapping_add(i as u8) | 1;
+                        let data = Bytes::from(vec![fill; REF_LEN]);
+                        let r = c.put_ref(&data).await?;
+                        if let Ok(b) = c.read_ref(&r, 0, REF_LEN as u64).await {
+                            if !b.iter().all(|&x| x == fill) {
+                                violations
+                                    .borrow_mut()
+                                    .push("sharded: put_ref read back wrong bytes".into());
+                            }
+                        }
+                        if i.is_multiple_of(2) {
+                            // Migrate off the ring home; a typed error
+                            // (faulted transfer) must leave the ref served
+                            // at the source, which the re-read proves.
+                            let dmcommon::Ref::Net { server, .. } = &r else {
+                                unreachable!("sharded client mints Net refs")
+                            };
+                            let dst = dmcommon::DmServerId((server.0 + 1 + w as u8 % 2) % 3);
+                            let _ = c.migrate_ref(&r, dst).await;
+                            match c.read_ref(&r, 0, REF_LEN as u64).await {
+                                Ok(b) if !b.iter().all(|&x| x == fill) => {
+                                    violations
+                                        .borrow_mut()
+                                        .push("sharded: migration corrupted ref bytes".into());
+                                }
+                                _ => {}
+                            }
+                        }
+                        checksum.set(checksum.get().wrapping_mul(31).wrapping_add(fill as u64));
+                        c.release_ref(&r).await?;
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await
+        };
+
+        // Heal and drain, then fail-stop every client: after lease
+        // reclamation every page — including migrated duplicates from
+        // faulted transfers — must be back on the free lists.
+        stop.set(true);
+        net.clear_faults();
+        for s in &servers {
+            s.restart();
+        }
+        simcore::sleep(Duration::from_millis(1)).await;
+        for c in &clients {
+            c.simulate_crash();
+        }
+        simcore::sleep(3 * LEASE_TTL).await;
+        let mut violations = violations.borrow().clone();
+        let mut free = 0usize;
+        let mut reclaimed = 0u64;
+        for s in &servers {
+            s.sweep_expired_leases();
+            s.check_invariants_all();
+            free += s.free_pages_total();
+            reclaimed += s.leases_reclaimed();
+        }
+        if free != capacity {
+            violations.push(format!(
+                "sharded page leak after lease reclamation: {free} free of {capacity}"
+            ));
+        }
+        if fault.crashes_servers() && reclaimed == 0 {
+            violations.push("sharded: crashed client's lease never reclaimed".into());
+        }
+        for s in &servers {
+            s.shutdown();
+        }
+        (m.completed, m.errors, checksum.get(), violations)
+    });
+    CaseResult {
+        completed,
+        errors,
+        end_ns: sim.now().nanos(),
+        polls: sim.poll_count(),
+        checksum,
+        violations,
+    }
+}
+
 type Case = Box<dyn Fn() -> CaseResult>;
 
 /// One executed case with its identity: the unit the parallel sweep must
@@ -611,7 +798,7 @@ fn run_seed(seed: u64, determinism_stride: u64) -> SeedResults {
     let mut records = Vec::new();
     let mut violations = Vec::new();
     for fault in FaultClass::ALL {
-        let cases: [(&'static str, Case); 3] = [
+        let cases: [(&'static str, Case); 4] = [
             (
                 "fig5-chain/erpc",
                 Box::new(move || run_chain_case(SystemKind::Erpc, fault, seed)),
@@ -623,6 +810,10 @@ fn run_seed(seed: u64, determinism_stride: u64) -> SeedResults {
             (
                 "fig7-cow/dmnet",
                 Box::new(move || run_cow_case(fault, seed)),
+            ),
+            (
+                "shard-migrate/dmnet",
+                Box::new(move || run_sharded_case(fault, seed)),
             ),
         ];
         for (name, case) in cases {

@@ -36,5 +36,6 @@ pub mod pool;
 pub mod recovery;
 pub mod report;
 pub mod rtt_budget;
+pub mod shard_scaling;
 pub mod sim_throughput;
 pub mod table1;

@@ -32,7 +32,7 @@ use telemetry::TraceCtx;
 use crate::proto::req;
 
 /// Highest request-type value tracked by the per-type wire counters.
-const MAX_REQ: usize = req::BATCH as usize + 1;
+const MAX_REQ: usize = req::MIGRATE_IN as usize + 1;
 
 /// Tuning for the client-side cache and coalescer. The default disables
 /// both, keeping a raw [`crate::DmNetClient`]'s wire behavior identical to

@@ -14,7 +14,8 @@
 //! [`req::BATCH`] message per flush window. [`DmNetClient::connect`] keeps
 //! both off, preserving the raw one-op-one-RPC behavior.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -24,11 +25,40 @@ use rpclib::Rpc;
 use simnet::Addr;
 
 use crate::cache::{CacheConfig, CacheStats, ClientCache, FreeAction};
-use crate::proto::{self, req, split_response, Reader, Writer};
+use crate::proto::{self, req, split_response, Reader, Routed, Writer};
+use crate::shard::{HashRing, ShardConfig, GKEY_BIT};
 
 /// Queued control ops per server before a flush is forced ahead of the
 /// timer (bounds batch size and client-side queue memory).
 const MAX_BATCH_OPS: usize = 64;
+
+/// Client-side shard router (DESIGN.md §13). Present only on clients built
+/// with [`DmNetClient::connect_sharded`]: `put_ref` then mints global keys
+/// and places them by consistent hashing, and every gkey-named op resolves
+/// its target locally — relocation cache first (learned from redirect
+/// chases, so tombstone chains collapse to one hop), ring second.
+struct ShardRouter {
+    ring: RefCell<HashRing>,
+    /// gkey → observed home, learned by chasing redirects. Entries drop
+    /// when the gkey answers at its ring home again or is released.
+    reloc: RefCell<HashMap<u64, DmServerId>>,
+    next_gkey: Cell<u32>,
+    redirects_chased: Cell<u64>,
+    /// This client's fabric address, baked into every minted gkey so two
+    /// clients can never mint the same key.
+    node: u32,
+    port: u16,
+}
+
+impl ShardRouter {
+    /// Mint a fresh globally-unique key: bit 63, 15 bits of node, 16 bits
+    /// of port, 32 bits of counter.
+    fn mint(&self) -> u64 {
+        let c = self.next_gkey.get();
+        self.next_gkey.set(c + 1);
+        GKEY_BIT | ((self.node as u64) << 48) | ((self.port as u64) << 32) | c as u64
+    }
+}
 
 /// Handle to the DM pool for one process.
 ///
@@ -47,6 +77,9 @@ pub struct DmNetClient {
     /// stops the renewal task and any pending batch flush.
     alive: Rc<Cell<bool>>,
     cache: Rc<ClientCache>,
+    /// Sharded placement (DESIGN.md §13), present only on clients built
+    /// with [`DmNetClient::connect_sharded`].
+    router: Option<ShardRouter>,
 }
 
 impl DmNetClient {
@@ -119,7 +152,44 @@ impl DmNetClient {
             lease_ttl,
             alive,
             cache,
+            router: None,
         })
+    }
+
+    /// [`DmNetClient::connect_with`] plus the shard router: `put_ref`
+    /// places refs by consistent hashing over the pool (ring derived from
+    /// `seed`, so every client and every run agree), and gkey-named ops
+    /// chase migration redirects transparently.
+    pub async fn connect_sharded(
+        rpc: Rc<Rpc>,
+        servers: Vec<Addr>,
+        cache: CacheConfig,
+        shard: ShardConfig,
+        seed: u64,
+    ) -> DmResult<DmNetClient> {
+        let n = servers.len();
+        let mut client = DmNetClient::connect_with(rpc, servers, cache).await?;
+        let addr = client.rpc.addr();
+        assert!(addr.node.0 < (1 << 15), "gkey node space is 15 bits");
+        client.router = Some(ShardRouter {
+            ring: RefCell::new(HashRing::new(n, shard, seed)),
+            reloc: RefCell::new(HashMap::new()),
+            next_gkey: Cell::new(0),
+            redirects_chased: Cell::new(0),
+            node: addr.node.0,
+            port: addr.port,
+        });
+        Ok(client)
+    }
+
+    /// Whether this client routes `put_ref` through the shard ring.
+    pub fn is_sharded(&self) -> bool {
+        self.router.is_some()
+    }
+
+    /// Redirect hops this client chased (sharded clients only).
+    pub fn redirects_chased(&self) -> u64 {
+        self.router.as_ref().map_or(0, |r| r.redirects_chased.get())
     }
 
     /// The lease TTL granted by the pool, if any.
@@ -197,6 +267,72 @@ impl DmNetClient {
 
     async fn request(&self, server: DmServerId, ty: u8, body: Bytes) -> DmResult<Bytes> {
         self.request_ep(server, ty, body).await.1
+    }
+
+    /// Current target for `gkey`: relocation cache first (a chased
+    /// redirect), ring placement second.
+    fn route_gkey(&self, gkey: u64) -> DmServerId {
+        let router = self.router.as_ref().expect("gkey routing without router");
+        if let Some(&s) = router.reloc.borrow().get(&gkey) {
+            return s;
+        }
+        router.ring.borrow().route(gkey)
+    }
+
+    fn addr_to_server(&self, node: u32, port: u16) -> Option<DmServerId> {
+        self.servers
+            .iter()
+            .position(|a| a.node.0 == node && a.port == port)
+            .map(|i| DmServerId(i as u8))
+    }
+
+    /// Send a gkey-named request, chasing `Moved` redirects. Each hop
+    /// follows a tombstone laid by a distinct migration and updates the
+    /// relocation cache, so the next op on the same gkey goes direct; the
+    /// chase is bounded by the pool size (a tombstone chain cannot revisit
+    /// a server without the gkey having answered there).
+    async fn request_routed(&self, gkey: u64, ty: u8, body: Bytes) -> (u64, DmResult<Bytes>) {
+        let mut server = self.route_gkey(gkey);
+        for _ in 0..self.servers.len() + 1 {
+            let addr = match self.server_addr(server) {
+                Ok(a) => a,
+                Err(e) => return (0, Err(e)),
+            };
+            self.cache.count_wire(ty);
+            let resp = match self.rpc.call(addr, ty, body.clone()).await {
+                Ok(r) => r,
+                Err(_) => return (0, Err(DmError::Transport)),
+            };
+            let (epoch, routed) = proto::split_response_routed(&resp);
+            if self.cache.observe_epoch(server.0 as usize, epoch) {
+                self.schedule_flush(server);
+            }
+            let router = self.router.as_ref().expect("routed request without router");
+            match routed {
+                Routed::Ok(b) => {
+                    // Remember an off-ring home; forget a stale entry the
+                    // moment the gkey answers at its ring home again.
+                    if router.ring.borrow().route(gkey) != server {
+                        router.reloc.borrow_mut().insert(gkey, server);
+                    } else {
+                        router.reloc.borrow_mut().remove(&gkey);
+                    }
+                    return (epoch, Ok(b));
+                }
+                Routed::Moved { node, port } => {
+                    let Some(next) = self.addr_to_server(node, port) else {
+                        return (epoch, Err(DmError::InvalidAddress));
+                    };
+                    router
+                        .redirects_chased
+                        .set(router.redirects_chased.get() + 1);
+                    router.reloc.borrow_mut().insert(gkey, next);
+                    server = next;
+                }
+                Routed::Err(e) => return (epoch, Err(e)),
+            }
+        }
+        (0, Err(DmError::InvalidRef))
     }
 
     /// Spawn the bounded-window flush timer for `server`'s queued control
@@ -355,6 +491,40 @@ impl DmNetClient {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        if self.router.is_some() && *key & GKEY_BIT != 0 {
+            let gkey = *key;
+            let target = self.route_gkey(gkey);
+            let pid = self.pid_at(target);
+            self.flush_if_pending_key(target, gkey).await;
+            if self.cache.config().enabled {
+                if let Some((va, _len)) = self.cache.take_mapping(target.0 as usize, gkey) {
+                    return Ok(RemoteAddr {
+                        server: target,
+                        pid,
+                        va,
+                    });
+                }
+            }
+            let body = Writer::new().pid(pid).u64(gkey).finish();
+            let (epoch, res) = self.request_routed(gkey, req::MAP_REF, body).await;
+            let resp = res?;
+            let mut rd = Reader::new(&resp);
+            let va = rd.u64()?;
+            let len = rd.u64()?;
+            // The mapping lives on whichever server answered (the
+            // post-chase home); the RemoteAddr must name it so rread /
+            // rfree go there directly.
+            let home = self.route_gkey(gkey);
+            if self.cache.config().enabled {
+                self.cache
+                    .note_mapping(home.0 as usize, gkey, va, len, epoch);
+            }
+            return Ok(RemoteAddr {
+                server: home,
+                pid: self.pid_at(home),
+                va,
+            });
+        }
         let idx = server.0 as usize;
         let pid = self.pid_at(*server);
         self.flush_if_pending_key(*server, *key).await;
@@ -410,9 +580,27 @@ impl DmNetClient {
         })
     }
 
-    /// Fast path: publish `data` as a new reference in one round trip
-    /// (round-robin across the pool; no creator mapping to free).
+    /// Fast path: publish `data` as a new reference in one round trip.
+    /// Unsharded clients spread refs round-robin across the pool; sharded
+    /// clients mint a global key and place it by consistent hashing, so
+    /// every client agrees on the ref's home without coordination.
     pub async fn put_ref(&self, data: &Bytes) -> DmResult<Ref> {
+        if let Some(router) = &self.router {
+            let gkey = router.mint();
+            let body = Writer::new().u64(gkey).bytes(data).finish();
+            let (epoch, res) = self.request_routed(gkey, req::PUT_REF_AT, body).await;
+            res?;
+            let server = self.route_gkey(gkey);
+            if self.cache.config().enabled {
+                self.cache
+                    .fill_data(server.0 as usize, gkey, epoch, data.clone());
+            }
+            return Ok(Ref::Net {
+                server,
+                key: gkey,
+                len: data.len() as u64,
+            });
+        }
         let idx = self.next_rr.get() % self.servers.len();
         self.next_rr.set(idx + 1);
         let server = DmServerId(idx as u8);
@@ -437,6 +625,26 @@ impl DmNetClient {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        if self.router.is_some() && *key & GKEY_BIT != 0 {
+            let gkey = *key;
+            let target = self.route_gkey(gkey);
+            self.flush_if_pending_key(target, gkey).await;
+            if self.cache.config().enabled {
+                if let Some(bytes) = self.cache.lookup_data(target.0 as usize, gkey, off, len) {
+                    return Ok(bytes);
+                }
+            }
+            let body = Writer::new().u64(gkey).u64(off).u64(len).finish();
+            let (epoch, res) = self.request_routed(gkey, req::READ_REF, body).await;
+            if self.cache.config().enabled && off == 0 {
+                if let Ok(bytes) = &res {
+                    // Fill under the post-chase home so the next read hits.
+                    let home = self.route_gkey(gkey).0 as usize;
+                    self.cache.fill_data(home, gkey, epoch, bytes.clone());
+                }
+            }
+            return res;
+        }
         let idx = server.0 as usize;
         self.flush_if_pending_key(*server, *key).await;
         if self.cache.config().enabled {
@@ -462,6 +670,25 @@ impl DmNetClient {
         let Ref::Net { server, key, .. } = r else {
             return Err(DmError::InvalidRef);
         };
+        if self.router.is_some() && *key & GKEY_BIT != 0 {
+            let gkey = *key;
+            let target = self.route_gkey(gkey);
+            if self.cache.config().enabled && self.cache.invalidate_key(target.0 as usize, gkey) {
+                self.schedule_flush(target);
+            }
+            // Gkey releases never ride the batch coalescer: a batched slot
+            // is fire-and-forget, so a `Moved` redirect laid down by a
+            // concurrent migration would be dropped silently and the ref
+            // leaked. The synchronous path chases redirects like any other
+            // gkey op.
+            let body = Writer::new().u64(gkey).finish();
+            let (_, res) = self.request_routed(gkey, req::RELEASE_REF, body).await;
+            res?;
+            if let Some(router) = &self.router {
+                router.reloc.borrow_mut().remove(&gkey);
+            }
+            return Ok(());
+        }
         let idx = server.0 as usize;
         if self.cache.config().enabled && self.cache.invalidate_key(idx, *key) {
             self.schedule_flush(*server);
@@ -484,6 +711,30 @@ impl DmNetClient {
         }
         self.flush_if_pending_key(*server, *key).await;
         self.request(*server, req::RELEASE_REF, body).await?;
+        Ok(())
+    }
+
+    /// Migrate a gkey-bound ref to `dst` (sharded clients only): the
+    /// current home transfers the pages server-to-server, releases its
+    /// copy and leaves a redirect tombstone; other clients chase one hop,
+    /// and this client's relocation cache learns the new home immediately.
+    pub async fn migrate_ref(&self, r: &Ref, dst: DmServerId) -> DmResult<()> {
+        let router = self.router.as_ref().ok_or(DmError::InvalidRef)?;
+        let Ref::Net { key, .. } = r else {
+            return Err(DmError::InvalidRef);
+        };
+        if *key & GKEY_BIT == 0 {
+            return Err(DmError::InvalidRef);
+        }
+        let dst_addr = self.server_addr(dst)?;
+        let body = Writer::new()
+            .u64(*key)
+            .u32(dst_addr.node.0)
+            .u32(dst_addr.port as u32)
+            .finish();
+        let (_, res) = self.request_routed(*key, req::MIGRATE, body).await;
+        res?;
+        router.reloc.borrow_mut().insert(*key, dst);
         Ok(())
     }
 }

@@ -27,6 +27,7 @@ pub mod client;
 pub mod page_manager;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod translator;
 pub mod wal;
 
@@ -37,6 +38,7 @@ pub use cache::{CacheConfig, CacheStats};
 pub use client::DmNetClient;
 pub use page_manager::{OpCost, PageManager};
 pub use server::{start_pool, DmServer, DmServerConfig, RecoveryReport};
+pub use shard::{HashRing, ShardConfig, GKEY_BIT};
 pub use wal::{Record, Wal, WalConfig};
 
 #[cfg(test)]
@@ -814,6 +816,217 @@ mod e2e_tests {
                 pm.check_invariants();
                 assert_eq!(pm.free_pages(), pm.capacity_pages(), "releases not applied");
             });
+        });
+    }
+
+    #[test]
+    fn sharded_placement_routes_by_ring() {
+        // Two sharded clients with the same seed agree on every ref's home
+        // without coordination, placement covers the whole pool, and no
+        // redirects are chased when nothing migrates.
+        let r = rig(4, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let dms = r.dm_nodes.clone();
+        let (c0, c1) = (r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &dms, &params, DmServerConfig::default());
+            let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+            let writer = DmNetClient::connect_sharded(
+                client_rpc(&net, c0, 100),
+                pool.clone(),
+                CacheConfig::default(),
+                ShardConfig::default(),
+                7,
+            )
+            .await
+            .unwrap();
+            let reader = DmNetClient::connect_sharded(
+                client_rpc(&net, c1, 100),
+                pool,
+                CacheConfig::default(),
+                ShardConfig::default(),
+                7,
+            )
+            .await
+            .unwrap();
+            assert!(writer.is_sharded());
+
+            let mut refs = Vec::new();
+            for i in 0..32u8 {
+                let data = Bytes::from(vec![i; 4096]);
+                let r = writer.put_ref(&data).await.unwrap();
+                let Ref::Net { key, .. } = r else {
+                    unreachable!()
+                };
+                assert!(key & GKEY_BIT != 0, "sharded put_ref mints gkeys");
+                refs.push((i, r));
+            }
+            // 32 refs over 4 servers: the ring spreads them (every server
+            // holds at least one with overwhelming probability).
+            for (idx, s) in servers.iter().enumerate() {
+                assert!(s.gkeys_bound() > 0, "server {idx} got no refs");
+            }
+            // The second client resolves every gkey off its own ring copy.
+            for (i, r) in &refs {
+                let back = reader.read_ref(r, 0, 4096).await.unwrap();
+                assert!(back.iter().all(|&b| b == *i), "wrong bytes for ref {i}");
+            }
+            assert_eq!(reader.redirects_chased(), 0, "no migrations, no hops");
+            for (_, r) in &refs {
+                reader.release_ref(r).await.unwrap();
+            }
+            for s in &servers {
+                s.check_invariants_all();
+                assert_eq!(s.free_pages_total(), s.capacity_pages_total());
+                assert_eq!(s.gkeys_bound(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn migration_redirects_one_hop_and_reloc_cache_goes_direct() {
+        let r = rig(3, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let dms = r.dm_nodes.clone();
+        let (c0, c1) = (r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let servers = start_pool(&net, &dms, &params, DmServerConfig::default());
+            let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+            // Caches off so every read is a wire op (redirects observable).
+            let owner = DmNetClient::connect_sharded(
+                client_rpc(&net, c0, 100),
+                pool.clone(),
+                CacheConfig::default(),
+                ShardConfig::default(),
+                3,
+            )
+            .await
+            .unwrap();
+            let other = DmNetClient::connect_sharded(
+                client_rpc(&net, c1, 100),
+                pool,
+                CacheConfig::default(),
+                ShardConfig::default(),
+                3,
+            )
+            .await
+            .unwrap();
+
+            let data = Bytes::from((0..8192u32).map(|i| (i % 239) as u8).collect::<Vec<_>>());
+            let r = owner.put_ref(&data).await.unwrap();
+            let Ref::Net { server: home, .. } = r else {
+                unreachable!()
+            };
+            // The other client reads once pre-migration (knows the home).
+            assert_eq!(other.read_ref(&r, 0, 8192).await.unwrap(), data);
+            assert_eq!(other.redirects_chased(), 0);
+
+            // Migrate to a different server.
+            let dst = dmcommon::DmServerId((home.0 + 1) % 3);
+            owner.migrate_ref(&r, dst).await.unwrap();
+            let src = &servers[home.0 as usize];
+            let dstv = &servers[dst.0 as usize];
+            assert_eq!(src.gkeys_bound(), 0, "source still holds the gkey");
+            assert_eq!(src.tombstones(), 1, "no redirect tombstone");
+            assert_eq!(dstv.gkeys_bound(), 1, "destination missing the gkey");
+            assert_eq!(src.migrations(), 1);
+            assert_eq!(dstv.migrations(), 1);
+
+            // The other client's next read chases exactly one hop...
+            assert_eq!(other.read_ref(&r, 0, 8192).await.unwrap(), data);
+            assert_eq!(other.redirects_chased(), 1, "one-hop chase");
+            assert_eq!(src.redirects(), 1);
+            // ...and its relocation cache then goes direct: more reads, no
+            // more hops.
+            assert_eq!(
+                other.read_ref(&r, 100, 64).await.unwrap()[..],
+                data[100..164]
+            );
+            assert_eq!(other.redirects_chased(), 1, "reloc cache not used");
+            // The migrating client learned the new home synchronously.
+            assert_eq!(owner.read_ref(&r, 0, 16).await.unwrap()[..], data[..16]);
+            assert_eq!(owner.redirects_chased(), 0);
+
+            // Release through the redirect path reclaims everything.
+            other.release_ref(&r).await.unwrap();
+            for s in &servers {
+                s.check_invariants_all();
+                assert_eq!(s.free_pages_total(), s.capacity_pages_total());
+                assert_eq!(s.gkeys_bound(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn sharded_recovery_restores_bindings_and_tombstones() {
+        // Durable sharded plane: gkey bindings and redirect tombstones
+        // survive a crash + restart_from_log, including across WAL
+        // compaction (v2 checkpoints).
+        let r = rig(2, 1);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let dms = r.dm_nodes.clone();
+        let c0 = r.compute[0];
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                durability: Some(WalConfig::zero_cost()),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &dms, &params, cfg);
+            let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+            let dm = DmNetClient::connect_sharded(
+                client_rpc(&net, c0, 100),
+                pool,
+                CacheConfig::default(),
+                ShardConfig::default(),
+                5,
+            )
+            .await
+            .unwrap();
+
+            let mut refs = Vec::new();
+            for i in 0..12u8 {
+                let data = Bytes::from(vec![i ^ 0x5A; 4096]);
+                refs.push(dm.put_ref(&data).await.unwrap());
+            }
+            // Migrate a few refs off server 0 so it holds tombstones and
+            // server 1 holds migrated-in (possibly unowned-sentinel) refs.
+            let mut moved = 0;
+            for r in &refs {
+                let Ref::Net { server, .. } = r else {
+                    unreachable!()
+                };
+                if server.0 == 0 && moved < 3 {
+                    dm.migrate_ref(r, dmcommon::DmServerId(1)).await.unwrap();
+                    moved += 1;
+                }
+            }
+            assert!(moved > 0, "seed 5 should place some refs on server 0");
+            let pre: Vec<_> = servers
+                .iter()
+                .map(|s| (s.pages_digest(), s.gkeys_bound(), s.tombstones()))
+                .collect();
+
+            for s in &servers {
+                s.crash();
+                s.restart_from_log().await;
+            }
+            for (s, (digest, bound, tombs)) in servers.iter().zip(&pre) {
+                assert_eq!(s.pages_digest(), *digest, "page state diverged");
+                assert_eq!(s.gkeys_bound(), *bound, "gkey bindings lost");
+                assert_eq!(s.tombstones(), *tombs, "tombstones lost");
+            }
+            // Every ref still reads back (through redirects where needed).
+            for (i, r) in refs.iter().enumerate() {
+                let back = dm.read_ref(r, 0, 4096).await.unwrap();
+                assert!(back.iter().all(|&b| b == (i as u8) ^ 0x5A));
+            }
+            for r in &refs {
+                dm.release_ref(r).await.unwrap();
+            }
+            for s in &servers {
+                s.check_invariants_all();
+                assert_eq!(s.free_pages_total(), s.capacity_pages_total());
+            }
         });
     }
 }

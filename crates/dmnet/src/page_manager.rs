@@ -458,6 +458,16 @@ impl PageManager {
             .ok_or(DmError::InvalidRef)
     }
 
+    /// PID a ref is attributed to for lease reclamation (`None` for
+    /// unowned refs). Migration forwards the attribution to the target
+    /// server.
+    pub fn ref_owner(&self, key: u64) -> DmResult<Option<GlobalPid>> {
+        self.refs
+            .get(&key)
+            .map(|e| e.owner.map(GlobalPid))
+            .ok_or(DmError::InvalidRef)
+    }
+
     /// Verify internal invariants; panics with a description on violation.
     /// Used by unit and property tests.
     pub fn check_invariants(&self) {

@@ -48,6 +48,21 @@ pub mod req {
     /// one full response per sub-request in order. Nested batches are
     /// rejected.
     pub const BATCH: u8 = 22;
+    /// Sharded plane (DESIGN.md §13): publish data under a client-minted
+    /// global key (`[gkey u64][data]`). The server binds the gkey to a
+    /// locally-allocated ref; later ops name the gkey and any server
+    /// holding it (or a redirect tombstone for it) can answer.
+    pub const PUT_REF_AT: u8 = 23;
+    /// Migrate a gkey-bound ref to another server
+    /// (`[gkey u64][dst node u32][dst port u16]`). The source transfers
+    /// the bytes server-to-server, releases its copy and installs a
+    /// redirect tombstone; clients naming the gkey chase one hop.
+    pub const MIGRATE: u8 = 24;
+    /// Server-to-server half of [`MIGRATE`]
+    /// (`[gkey u64][owner node u32][owner port u16][data]`): the
+    /// destination binds the gkey to a fresh local ref holding `data`,
+    /// attributed to its own pid for the owning endpoint.
+    pub const MIGRATE_IN: u8 = 25;
 }
 
 /// Well-known port DM servers listen on.
@@ -70,6 +85,9 @@ pub fn req_name(ty: u8) -> &'static str {
         req::PUT_REF => "dm.put_ref",
         req::RENEW_LEASE => "dm.renew_lease",
         req::BATCH => "dm.batch",
+        req::PUT_REF_AT => "dm.put_ref_at",
+        req::MIGRATE => "dm.migrate",
+        req::MIGRATE_IN => "dm.migrate_in",
         _ => "dm.unknown",
     }
 }
@@ -81,7 +99,13 @@ pub fn req_name(ty: u8) -> &'static str {
 pub fn is_control(ty: u8) -> bool {
     !matches!(
         ty,
-        req::READ | req::WRITE | req::READ_REF | req::PUT_REF | req::WRITE_CREATE_REF
+        req::READ
+            | req::WRITE
+            | req::READ_REF
+            | req::PUT_REF
+            | req::WRITE_CREATE_REF
+            | req::PUT_REF_AT
+            | req::MIGRATE_IN
     )
 }
 
@@ -149,10 +173,65 @@ pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
     split_response(resp).1
 }
 
+/// Status byte of a *redirect* response (DESIGN.md §13): the named gkey
+/// migrated away and the body carries the forwarding address. Deliberately
+/// not a [`DmError`] — only gkey-routed clients can receive it, and they
+/// decode with [`split_response_routed`]; a legacy decoder maps the code
+/// to `Malformed`, which such a client could only see through a bug.
+pub const CODE_MOVED: u8 = 7;
+
+/// Outcome of a gkey-routed request: a body, a one-hop redirect, or an
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routed {
+    /// Success body.
+    Ok(Bytes),
+    /// The gkey migrated to the server at `node:port`; retry there.
+    Moved {
+        /// Forwarding fabric node.
+        node: u32,
+        /// Forwarding port.
+        port: u16,
+    },
+    /// Typed failure.
+    Err(DmError),
+}
+
+/// Encode a redirect response: the gkey now lives at `node:port`.
+pub fn moved_response(epoch: u64, node: u32, port: u16) -> Bytes {
+    let mut b = BytesMut::with_capacity(15);
+    b.extend_from_slice(&[CODE_MOVED]);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.extend_from_slice(&node.to_le_bytes());
+    b.extend_from_slice(&port.to_le_bytes());
+    b.freeze()
+}
+
+/// [`split_response`] for gkey-routed requests: additionally decodes
+/// [`CODE_MOVED`] redirects.
+pub fn split_response_routed(resp: &Bytes) -> (u64, Routed) {
+    if resp.len() < 9 {
+        return (0, Routed::Err(DmError::Malformed));
+    }
+    let epoch = u64::from_le_bytes(resp[1..9].try_into().expect("len checked"));
+    match resp[0] {
+        0 => (epoch, Routed::Ok(resp.slice(9..))),
+        CODE_MOVED => {
+            if resp.len() < 15 {
+                return (epoch, Routed::Err(DmError::Malformed));
+            }
+            let node = u32::from_le_bytes(resp[9..13].try_into().expect("len checked"));
+            let port = u16::from_le_bytes(resp[13..15].try_into().expect("len checked"));
+            (epoch, Routed::Moved { node, port })
+        }
+        c => (epoch, Routed::Err(code_err(c))),
+    }
+}
+
 /// High bit of a batch item tag: set when the item body starts with a
 /// 16-byte trace context (`trace_id` LE u64, `span_id` LE u64) captured
-/// where the op was enqueued. Request types stay ≤ [`req::BATCH`] (22),
-/// so the bit is free; untraced batches are byte-identical to the
+/// where the op was enqueued. Request types stay ≤ [`req::MIGRATE_IN`]
+/// (25), so the bit is free; untraced batches are byte-identical to the
 /// pre-telemetry encoding.
 pub const BATCH_TRACE_BIT: u8 = 0x80;
 
@@ -434,6 +513,7 @@ mod tests {
             req::RELEASE_REF,
             req::RENEW_LEASE,
             req::BATCH,
+            req::MIGRATE,
         ] {
             assert!(is_control(ty), "type {ty} is control-plane");
         }
@@ -443,9 +523,35 @@ mod tests {
             req::READ_REF,
             req::PUT_REF,
             req::WRITE_CREATE_REF,
+            req::PUT_REF_AT,
+            req::MIGRATE_IN,
         ] {
             assert!(!is_control(ty), "type {ty} is data-plane");
         }
+    }
+
+    #[test]
+    fn moved_response_roundtrip() {
+        let m = moved_response(9, 42, 7000);
+        let (epoch, routed) = split_response_routed(&m);
+        assert_eq!(epoch, 9);
+        assert_eq!(
+            routed,
+            Routed::Moved {
+                node: 42,
+                port: 7000
+            }
+        );
+        // Ok and Err responses decode identically to split_response.
+        let (e2, r2) = split_response_routed(&ok_response(3, b"xy"));
+        assert_eq!((e2, r2), (3, Routed::Ok(Bytes::from_static(b"xy"))));
+        let (e3, r3) = split_response_routed(&err_response(4, DmError::InvalidRef));
+        assert_eq!((e3, r3), (4, Routed::Err(DmError::InvalidRef)));
+        // A legacy decoder treats the redirect as Malformed, never Ok.
+        assert_eq!(parse_response(&m).unwrap_err(), DmError::Malformed);
+        // Truncated redirect body.
+        let (_, rt) = split_response_routed(&m.slice(..12));
+        assert_eq!(rt, Routed::Err(DmError::Malformed));
     }
 
     #[test]

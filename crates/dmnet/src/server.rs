@@ -32,7 +32,8 @@ use simnet::{Network, NodeId};
 use telemetry::SpanKind;
 
 use crate::page_manager::{OpCost, PageManager};
-use crate::proto::{self, err_response, ok_response, req, Reader, Writer};
+use crate::proto::{self, err_response, moved_response, ok_response, req, Reader, Writer};
+use crate::shard::GKEY_BIT;
 use crate::wal::{Record, Wal, WalConfig};
 
 /// Top bits of DM virtual addresses / ref keys carry the owning shard.
@@ -40,7 +41,24 @@ const SHARD_SHIFT: u32 = 48;
 const LOW_MASK: u64 = (1u64 << SHARD_SHIFT) - 1;
 
 /// Version byte of the whole-server checkpoint snapshot (DESIGN.md §12).
+/// Version 2 appends the sharded plane's gkey-binding and tombstone
+/// tables (DESIGN.md §13); a server whose tables are empty still emits
+/// version 1, byte-identical to pre-sharding checkpoints.
 const SNAPSHOT_VERSION: u8 = 1;
+const SNAPSHOT_VERSION_SHARDED: u8 = 2;
+
+/// Sentinel pid in a `Record::PutRef` for an unowned ref (a migrated ref
+/// whose owner was not registered at the destination); replay maps it
+/// back to `None`.
+const NO_OWNER_PID: u32 = u32::MAX;
+
+/// Outcome of resolving a wire ref key ([`DmServer::route_key`]): either
+/// the owning `(shard, local key)`, or a ready-made redirect response for
+/// a gkey that migrated away.
+enum KeyRoute {
+    Local(usize, u64),
+    Redirect(Bytes),
+}
 
 /// What [`DmServer::restart_from_log`] did.
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +171,18 @@ pub struct DmServer {
     wal: Option<Wal>,
     /// Completed `restart_from_log` recoveries (observability).
     recoveries: Cell<u64>,
+    /// Sharded plane (DESIGN.md §13): global key → tagged local ref key
+    /// for every gkey currently homed here.
+    gmap: RefCell<std::collections::HashMap<u64, u64>>,
+    /// Redirect tombstones: gkeys that migrated away, with the forwarding
+    /// address clients chase (one hop per tombstone).
+    moved: RefCell<std::collections::HashMap<u64, simnet::Addr>>,
+    /// Requests served (per-shard `dm.shard.N.ops` telemetry).
+    ops_served: Cell<u64>,
+    /// Migrations completed (outbound MIGRATE + inbound MIGRATE_IN).
+    migrations: Cell<u64>,
+    /// Redirect responses served off tombstones.
+    redirects: Cell<u64>,
     translation_ns: Cell<u64>,
     op_ns: Cell<u64>,
 }
@@ -213,6 +243,11 @@ impl DmServer {
                 .durability
                 .map(|w| Wal::new(format!("dmwal{}", node.0), w)),
             recoveries: Cell::new(0),
+            gmap: RefCell::new(std::collections::HashMap::new()),
+            moved: RefCell::new(std::collections::HashMap::new()),
+            ops_served: Cell::new(0),
+            migrations: Cell::new(0),
+            redirects: Cell::new(0),
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
         });
@@ -343,6 +378,33 @@ impl DmServer {
         self.recoveries.get()
     }
 
+    // -- sharded DM plane (DESIGN.md §13) ------------------------------------
+
+    /// Requests served (the `dm.shard.N.ops` telemetry gauge).
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served.get()
+    }
+
+    /// Completed migrations: outbound MIGRATE plus inbound MIGRATE_IN.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.get()
+    }
+
+    /// Redirect responses served off tombstones.
+    pub fn redirects(&self) -> u64 {
+        self.redirects.get()
+    }
+
+    /// Gkeys currently homed on this server (observability for tests).
+    pub fn gkeys_bound(&self) -> usize {
+        self.gmap.borrow().len()
+    }
+
+    /// Live redirect tombstones (observability for tests).
+    pub fn tombstones(&self) -> usize {
+        self.moved.borrow().len()
+    }
+
     /// FNV-1a digest of every shard's canonical page-manager snapshot —
     /// the whole memory-plane state (pages, refcounts, VA trees, refs,
     /// free-list order) excluding volatile serving state (epoch, leases,
@@ -366,7 +428,17 @@ impl DmServer {
     /// ops advance the cursor without producing records, so it is not
     /// reconstructible from the log; it is only a placement hint).
     fn snapshot_bytes(&self) -> Vec<u8> {
-        let mut out = vec![SNAPSHOT_VERSION];
+        let gmap = self.gmap.borrow();
+        let moved = self.moved.borrow();
+        // A server that never served the sharded plane emits the version-1
+        // layout, byte-for-byte — log sizes of pre-sharding workloads (and
+        // the CSVs derived from them) cannot shift.
+        let sharded_plane = !gmap.is_empty() || !moved.is_empty();
+        let mut out = vec![if sharded_plane {
+            SNAPSHOT_VERSION_SHARDED
+        } else {
+            SNAPSHOT_VERSION
+        }];
         out.extend_from_slice(&(self.shards.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.epoch.get().to_le_bytes());
         let mut owners: Vec<(u32, simnet::Addr)> =
@@ -378,6 +450,25 @@ impl DmServer {
             out.extend_from_slice(&addr.node.0.to_le_bytes());
             out.extend_from_slice(&addr.port.to_le_bytes());
         }
+        if sharded_plane {
+            let mut binds: Vec<(u64, u64)> = gmap.iter().map(|(&g, &k)| (g, k)).collect();
+            binds.sort_unstable_by_key(|&(g, _)| g);
+            out.extend_from_slice(&(binds.len() as u32).to_le_bytes());
+            for (gkey, key) in binds {
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            let mut tombs: Vec<(u64, simnet::Addr)> = moved.iter().map(|(&g, &a)| (g, a)).collect();
+            tombs.sort_unstable_by_key(|&(g, _)| g);
+            out.extend_from_slice(&(tombs.len() as u32).to_le_bytes());
+            for (gkey, addr) in tombs {
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&addr.node.0.to_le_bytes());
+                out.extend_from_slice(&addr.port.to_le_bytes());
+            }
+        }
+        drop(gmap);
+        drop(moved);
         for s in &self.shards {
             s.pm.borrow().snapshot_into(&mut out);
         }
@@ -391,7 +482,11 @@ impl DmServer {
     fn restore_snapshot(&self, buf: &[u8]) {
         const BAD: &str = "replay: corrupt checkpoint";
         assert!(buf.len() >= 3, "{BAD}");
-        assert_eq!(buf[0], SNAPSHOT_VERSION, "{BAD}");
+        let version = buf[0];
+        assert!(
+            version == SNAPSHOT_VERSION || version == SNAPSHOT_VERSION_SHARDED,
+            "{BAD}"
+        );
         let shard_count = u16::from_le_bytes(buf[1..3].try_into().expect(BAD)) as usize;
         assert_eq!(shard_count, self.shards.len(), "{BAD}");
         let mut pos = 3usize;
@@ -419,6 +514,33 @@ impl DmServer {
             );
         }
         drop(owners);
+        let mut gmap = self.gmap.borrow_mut();
+        let mut moved = self.moved.borrow_mut();
+        gmap.clear();
+        moved.clear();
+        if version == SNAPSHOT_VERSION_SHARDED {
+            let n_binds = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+            for _ in 0..n_binds {
+                let gkey = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+                let key = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+                gmap.insert(gkey, key);
+            }
+            let n_tombs = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+            for _ in 0..n_tombs {
+                let gkey = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+                let node = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+                let port = u16::from_le_bytes(take(&mut pos, 2).try_into().expect(BAD));
+                moved.insert(
+                    gkey,
+                    simnet::Addr {
+                        node: NodeId(node),
+                        port,
+                    },
+                );
+            }
+        }
+        drop(gmap);
+        drop(moved);
         for s in &self.shards {
             let pm = PageManager::restore_from(buf, &mut pos).expect(BAD);
             *s.pm.borrow_mut() = pm;
@@ -563,10 +685,12 @@ impl DmServer {
                 key,
                 data,
             } => {
+                // The sentinel pid marks an unowned migrated-in ref.
+                let owner = (*pid != NO_OWNER_PID).then_some(GlobalPid(*pid));
                 let (got, _) = self.shards[*shard as usize]
                     .pm
                     .borrow_mut()
-                    .put_ref(data, Some(GlobalPid(*pid)))
+                    .put_ref(data, owner)
                     .expect("replay: put_ref");
                 debug_assert_eq!(got, *key, "replay: put_ref divergence");
             }
@@ -578,6 +702,24 @@ impl DmServer {
                 }
                 self.owners.borrow_mut().remove(pid);
                 self.epoch.set(self.epoch.get() + 1);
+            }
+            Record::GBind { gkey, key } => {
+                self.gmap.borrow_mut().insert(*gkey, *key);
+                // A migrated-back gkey overwrites its stale tombstone.
+                self.moved.borrow_mut().remove(gkey);
+            }
+            Record::GUnbind { gkey } => {
+                self.gmap.borrow_mut().remove(gkey);
+            }
+            Record::GMoved { gkey, node, port } => {
+                self.gmap.borrow_mut().remove(gkey);
+                self.moved.borrow_mut().insert(
+                    *gkey,
+                    simnet::Addr {
+                        node: NodeId(*node),
+                        port: *port,
+                    },
+                );
             }
             Record::Checkpoint { snapshot } => self.restore_snapshot(snapshot),
         }
@@ -618,6 +760,8 @@ impl DmServer {
         }
         self.owners.borrow_mut().clear();
         self.leases.borrow_mut().clear();
+        self.gmap.borrow_mut().clear();
+        self.moved.borrow_mut().clear();
         self.epoch.set(0);
         self.next_alloc.set(0);
         for rec in &report.records {
@@ -750,6 +894,30 @@ impl DmServer {
         s
     }
 
+    /// Resolve a wire ref key: a plain tagged key routes to its shard
+    /// directly; a gkey (bit 63) resolves through the binding table, or
+    /// yields the ready-made redirect response when only a tombstone
+    /// remains. An unknown gkey is an invalid ref.
+    fn route_key(&self, raw: u64) -> DmResult<KeyRoute> {
+        if raw & GKEY_BIT == 0 {
+            let (shard, key) = self.route(raw)?;
+            return Ok(KeyRoute::Local(shard, key));
+        }
+        if let Some(&tagged) = self.gmap.borrow().get(&raw) {
+            let (shard, key) = self.route(tagged)?;
+            return Ok(KeyRoute::Local(shard, key));
+        }
+        if let Some(&fwd) = self.moved.borrow().get(&raw) {
+            self.redirects.set(self.redirects.get() + 1);
+            return Ok(KeyRoute::Redirect(moved_response(
+                self.epoch.get(),
+                fwd.node.0,
+                fwd.port,
+            )));
+        }
+        Err(DmError::InvalidRef)
+    }
+
     /// Record data-path time in the op-time denominator (translation stat).
     fn note_data_time(&self, bytes: u64) {
         let t = self
@@ -824,6 +992,9 @@ impl DmServer {
             req::PUT_REF,
             req::RENEW_LEASE,
             req::BATCH,
+            req::PUT_REF_AT,
+            req::MIGRATE,
+            req::MIGRATE_IN,
         ];
         for &ty in types {
             let srv = self.clone();
@@ -835,6 +1006,7 @@ impl DmServer {
     }
 
     async fn handle(self: Rc<Self>, ty: u8, src: simnet::Addr, body: Bytes) -> Bytes {
+        self.ops_served.set(self.ops_served.get() + 1);
         // Child of the RPC layer's server-handle span when the request was
         // traced; a no-op (one flag read) otherwise.
         let mut op = telemetry::span(SpanKind::DmOp, proto::req_name(ty), self.addr().node.0);
@@ -956,7 +1128,10 @@ impl DmServer {
                 let mut r = Reader::new(body);
                 let pid = r.pid()?;
                 self.check_owner(pid, src)?;
-                let (shard, key) = self.route(r.u64()?)?;
+                let (shard, key) = match self.route_key(r.u64()?)? {
+                    KeyRoute::Local(s, k) => (s, k),
+                    KeyRoute::Redirect(resp) => return Ok(resp),
+                };
                 let (va, len, cost) = self.shards[shard].pm.borrow_mut().map_ref(pid, key)?;
                 self.persist(|| Record::MapRef {
                     shard: shard as u16,
@@ -1005,17 +1180,35 @@ impl DmServer {
             }
             req::RELEASE_REF => {
                 let mut r = Reader::new(body);
-                let (shard, key) = self.route(r.u64()?)?;
+                let raw = r.u64()?;
+                let (shard, key) = match self.route_key(raw)? {
+                    KeyRoute::Local(s, k) => (s, k),
+                    KeyRoute::Redirect(resp) => return Ok(resp),
+                };
                 let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
                 // The ref is gone: advance the invalidation epoch so client
                 // caches filled before this point stop serving it. The
                 // releaser's own response already carries the new epoch.
                 self.epoch.set(self.epoch.get() + 1);
-                self.persist(|| Record::ReleaseRef {
-                    shard: shard as u16,
-                    key,
-                })
-                .await;
+                if raw & GKEY_BIT != 0 {
+                    self.gmap.borrow_mut().remove(&raw);
+                    self.persist2(|| {
+                        (
+                            Record::ReleaseRef {
+                                shard: shard as u16,
+                                key,
+                            },
+                            Record::GUnbind { gkey: raw },
+                        )
+                    })
+                    .await;
+                } else {
+                    self.persist(|| Record::ReleaseRef {
+                        shard: shard as u16,
+                        key,
+                    })
+                    .await;
+                }
                 self.charge(shard, cost, cost.refcount_updates).await;
                 Ok(self.ok(&[]))
             }
@@ -1093,7 +1286,10 @@ impl DmServer {
             }
             req::READ_REF => {
                 let mut r = Reader::new(body);
-                let (shard, key) = self.route(r.u64()?)?;
+                let (shard, key) = match self.route_key(r.u64()?)? {
+                    KeyRoute::Local(s, k) => (s, k),
+                    KeyRoute::Redirect(resp) => return Ok(resp),
+                };
                 let off = r.u64()?;
                 let len = r.u64()?;
                 let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
@@ -1102,6 +1298,200 @@ impl DmServer {
                 self.mem.touch(len).await;
                 self.note_data_time(len);
                 Ok(self.ok(&data))
+            }
+            req::PUT_REF_AT => {
+                // Sharded plane (DESIGN.md §13): publish under a
+                // client-minted global key. Placement was the client's
+                // choice (the consistent-hash ring); this server only binds.
+                let mut r = Reader::new(body);
+                let gkey = r.u64()?;
+                if gkey & GKEY_BIT == 0 {
+                    return Err(DmError::InvalidRef);
+                }
+                let data = r.rest();
+                // Gkeys are mint-once: a rebind would orphan pages and
+                // break the one-hop redirect contract.
+                if self.gmap.borrow().contains_key(&gkey) || self.moved.borrow().contains_key(&gkey)
+                {
+                    return Err(DmError::Malformed);
+                }
+                let len = data.len() as u64;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let owner = self
+                    .owners
+                    .borrow()
+                    .iter()
+                    .find(|&(_, &a)| a == src)
+                    .map(|(&pid, _)| GlobalPid(pid))
+                    .ok_or(DmError::InvalidAddress)?;
+                let shard = self.pick_alloc_shard();
+                let (key, cost) = self.shards[shard]
+                    .pm
+                    .borrow_mut()
+                    .put_ref(data, Some(owner))?;
+                let tagged = self.tag(shard, key);
+                self.gmap.borrow_mut().insert(gkey, tagged);
+                self.persist2(|| {
+                    (
+                        Record::PutRef {
+                            shard: shard as u16,
+                            pid: owner.0,
+                            key,
+                            data: data.to_vec(),
+                        },
+                        Record::GBind { gkey, key: tagged },
+                    )
+                })
+                .await;
+                self.charge(shard, cost, translations).await;
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(self.ok(&[]))
+            }
+            req::MIGRATE => {
+                // Ownership migration (DESIGN.md §13): transfer the gkey's
+                // pages to `dst` server-to-server, release the local copy
+                // and leave a redirect tombstone for in-flight clients.
+                let mut r = Reader::new(body);
+                let gkey = r.u64()?;
+                if gkey & GKEY_BIT == 0 {
+                    return Err(DmError::InvalidRef);
+                }
+                let dst = simnet::Addr {
+                    node: NodeId(r.u32()?),
+                    port: r.u32()? as u16,
+                };
+                if dst == self.addr() {
+                    return Err(DmError::InvalidAddress);
+                }
+                let (shard, key) = match self.route_key(gkey)? {
+                    KeyRoute::Local(s, k) => (s, k),
+                    KeyRoute::Redirect(resp) => return Ok(resp),
+                };
+                let (len, owner) = {
+                    let pm = self.shards[shard].pm.borrow();
+                    (pm.ref_len(key)?, pm.ref_owner(key)?)
+                };
+                let data = self.shards[shard].pm.borrow_mut().read_ref(key, 0, len)?;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let owner_addr = owner.and_then(|p| self.owners.borrow().get(&p.0).copied());
+                // An owned ref whose owner is no longer registered is
+                // about to be lease-reclaimed; migrating it would install
+                // an unowned orphan at `dst` that no sweeper ever frees.
+                if owner.is_some() && owner_addr.is_none() {
+                    return Err(DmError::InvalidAddress);
+                }
+                // Reading the pages out for the transfer occupies DRAM
+                // exactly like READ_REF.
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                let mut w = Writer::new().u64(gkey);
+                w = match owner_addr {
+                    Some(a) => w.u32(a.node.0).u32(a.port as u32),
+                    None => w.u32(NO_OWNER_PID).u32(0),
+                };
+                let fwd = w.bytes(&data).finish();
+                // The transfer rides the simulated fabric: migration pays
+                // real server-to-server bandwidth and latency. A transport
+                // or destination failure leaves the local copy untouched —
+                // the gkey stays served here, and any duplicate the
+                // destination may have installed is owner-attributed, so
+                // lease teardown reclaims it.
+                let resp = self
+                    .rpc
+                    .call(dst, req::MIGRATE_IN, fwd)
+                    .await
+                    .map_err(|_| DmError::Transport)?;
+                proto::parse_response(&resp)?;
+                // Destination acked: drop the local copy, leave the
+                // forwarding tombstone, and invalidate caches (the ref's
+                // home changed under every client that cached it).
+                let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
+                self.gmap.borrow_mut().remove(&gkey);
+                self.moved.borrow_mut().insert(gkey, dst);
+                self.epoch.set(self.epoch.get() + 1);
+                self.persist2(|| {
+                    (
+                        Record::ReleaseRef {
+                            shard: shard as u16,
+                            key,
+                        },
+                        Record::GMoved {
+                            gkey,
+                            node: dst.node.0,
+                            port: dst.port,
+                        },
+                    )
+                })
+                .await;
+                self.migrations.set(self.migrations.get() + 1);
+                self.charge(shard, cost, translations).await;
+                Ok(self.ok(&[]))
+            }
+            req::MIGRATE_IN => {
+                // Destination half of MIGRATE: bind the gkey to a fresh
+                // local ref holding the transferred bytes. Ownership is
+                // re-attributed to this server's pid for the owning
+                // endpoint when it is registered here; otherwise the ref
+                // arrives unowned (reclaimed only by explicit release).
+                let mut r = Reader::new(body);
+                let gkey = r.u64()?;
+                if gkey & GKEY_BIT == 0 {
+                    return Err(DmError::InvalidRef);
+                }
+                let owner_node = r.u32()?;
+                let owner_port = r.u32()?;
+                let data = r.rest();
+                if self.gmap.borrow().contains_key(&gkey) {
+                    return Err(DmError::Malformed);
+                }
+                let owner = if owner_node == NO_OWNER_PID {
+                    None
+                } else {
+                    let oaddr = simnet::Addr {
+                        node: NodeId(owner_node),
+                        port: owner_port as u16,
+                    };
+                    // The owner must be attributable here, or the transfer
+                    // is refused and the source keeps the ref: accepting it
+                    // unowned would leave pages no lease sweeper can ever
+                    // reclaim. (The owner can be unknown here when its
+                    // lease expired on this server — e.g. renewals lost to
+                    // a partition — while the source still holds one.)
+                    Some(
+                        self.owners
+                            .borrow()
+                            .iter()
+                            .find(|&(_, &a)| a == oaddr)
+                            .map(|(&pid, _)| GlobalPid(pid))
+                            .ok_or(DmError::InvalidAddress)?,
+                    )
+                };
+                let len = data.len() as u64;
+                let translations = len.div_ceil(PAGE_SIZE as u64).max(1);
+                let shard = self.pick_alloc_shard();
+                let (key, cost) = self.shards[shard].pm.borrow_mut().put_ref(data, owner)?;
+                let tagged = self.tag(shard, key);
+                self.gmap.borrow_mut().insert(gkey, tagged);
+                // A ref migrating back home clears its own stale tombstone.
+                self.moved.borrow_mut().remove(&gkey);
+                self.persist2(|| {
+                    (
+                        Record::PutRef {
+                            shard: shard as u16,
+                            pid: owner.map_or(NO_OWNER_PID, |p| p.0),
+                            key,
+                            data: data.to_vec(),
+                        },
+                        Record::GBind { gkey, key: tagged },
+                    )
+                })
+                .await;
+                self.migrations.set(self.migrations.get() + 1);
+                self.charge(shard, cost, translations).await;
+                self.mem.touch(len).await;
+                self.note_data_time(len);
+                Ok(self.ok(&[]))
             }
             req::BATCH => {
                 // Coalesced control ops (DESIGN.md §9): one wire message,

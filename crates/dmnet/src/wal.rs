@@ -162,6 +162,32 @@ pub enum Record {
         /// Canonical snapshot bytes (see `DmServer::snapshot_bytes`).
         snapshot: Vec<u8>,
     },
+    /// Sharded plane (DESIGN.md §13): global key `gkey` bound to the
+    /// tagged local ref `key` (a `PUT_REF_AT` or `MIGRATE_IN`; the paired
+    /// `PutRef` record replays the underlying allocation).
+    GBind {
+        /// Client-minted global key (bit 63 set).
+        gkey: u64,
+        /// Tagged local ref key the gkey resolves to.
+        key: u64,
+    },
+    /// Global key `gkey` released (`RELEASE_REF` naming a gkey; the
+    /// paired `ReleaseRef` record replays the underlying release).
+    GUnbind {
+        /// The released global key.
+        gkey: u64,
+    },
+    /// Global key `gkey` migrated away to `node:port`; replay reinstalls
+    /// the redirect tombstone (the paired `ReleaseRef` record replays the
+    /// local release).
+    GMoved {
+        /// The migrated global key.
+        gkey: u64,
+        /// Destination fabric node.
+        node: u32,
+        /// Destination port.
+        port: u16,
+    },
 }
 
 mod kind {
@@ -175,6 +201,9 @@ mod kind {
     pub const PUT_REF: u8 = 8;
     pub const RELEASE_PROCESS: u8 = 9;
     pub const CHECKPOINT: u8 = 10;
+    pub const GBIND: u8 = 11;
+    pub const GUNBIND: u8 = 12;
+    pub const GMOVED: u8 = 13;
 }
 
 impl Record {
@@ -267,6 +296,21 @@ impl Record {
                 out.push(kind::CHECKPOINT);
                 out.extend_from_slice(snapshot);
             }
+            Record::GBind { gkey, key } => {
+                out.push(kind::GBIND);
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+            Record::GUnbind { gkey } => {
+                out.push(kind::GUNBIND);
+                out.extend_from_slice(&gkey.to_le_bytes());
+            }
+            Record::GMoved { gkey, node, port } => {
+                out.push(kind::GMOVED);
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&port.to_le_bytes());
+            }
         }
     }
 
@@ -322,6 +366,16 @@ impl Record {
             kind::RELEASE_PROCESS => Record::ReleaseProcess { pid: c.u32()? },
             kind::CHECKPOINT => Record::Checkpoint {
                 snapshot: c.rest().to_vec(),
+            },
+            kind::GBIND => Record::GBind {
+                gkey: c.u64()?,
+                key: c.u64()?,
+            },
+            kind::GUNBIND => Record::GUnbind { gkey: c.u64()? },
+            kind::GMOVED => Record::GMoved {
+                gkey: c.u64()?,
+                node: c.u32()?,
+                port: c.u16()?,
             },
             _ => return None,
         };
@@ -645,6 +699,18 @@ mod tests {
             Record::ReleaseProcess { pid: 7 },
             Record::Checkpoint {
                 snapshot: vec![9, 9, 9],
+            },
+            Record::GBind {
+                gkey: (1 << 63) | 77,
+                key: (2 << 48) | 5,
+            },
+            Record::GUnbind {
+                gkey: (1 << 63) | 77,
+            },
+            Record::GMoved {
+                gkey: (1 << 63) | 78,
+                node: 4,
+                port: 7000,
             },
         ]
     }
