@@ -94,6 +94,13 @@ pub struct ClusterConfig {
     /// Ref placement policy for DmNet endpoints (DESIGN.md §13). Defaults
     /// to [`DmPlacement::RoundRobin`], the paper's scheme.
     pub dm_placement: DmPlacement,
+    /// DM-server admission control + CoDel shedding (DESIGN.md §14).
+    /// `None` (default) admits everything — schedule-identical to a
+    /// cluster built before overload control existed.
+    pub dm_admission: Option<dmnet::AdmissionConfig>,
+    /// Client-side token limiting and `Busy` retry for every DmNet
+    /// endpoint (DESIGN.md §14). Default: off.
+    pub dm_client_limit: dmnet::ClientLimitConfig,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +116,8 @@ impl Default for ClusterConfig {
             dm_client_cache: dmnet::CacheConfig::all_on(),
             dm_durability: dmnet::WalConfig::from_env(),
             dm_placement: DmPlacement::RoundRobin,
+            dm_admission: None,
+            dm_client_limit: dmnet::ClientLimitConfig::default(),
         }
     }
 }
@@ -174,6 +183,7 @@ impl Cluster {
                     cores: config.dm_server_cores,
                     lease_ttl: config.lease_ttl,
                     durability: config.dm_durability,
+                    admission: config.dm_admission,
                     ..Default::default()
                 };
                 // A DmNet cluster without memory servers is a configuration
@@ -356,6 +366,14 @@ impl Cluster {
             reg.register_gauge(format!("dm.shard.{i}.migrations"), move || srv.migrations());
             let srv = s.clone();
             reg.register_gauge(format!("dm.shard.{i}.redirects"), move || srv.redirects());
+            // Overload-control counters (DESIGN.md §14): 0 unless the
+            // cluster was built with `dm_admission`.
+            let srv = s.clone();
+            reg.register_gauge(format!("dm.shard.{i}.rejected"), move || {
+                srv.admission_rejected()
+            });
+            let srv = s.clone();
+            reg.register_gauge(format!("dm.shard.{i}.shed"), move || srv.admission_shed());
         }
         if let Some(f) = &self.fabric {
             let g = f.gfam().clone();
@@ -410,20 +428,22 @@ impl Cluster {
             SystemKind::DmNet => {
                 let dm = match self.config.dm_placement {
                     DmPlacement::RoundRobin => {
-                        DmNetClient::connect_with(
+                        DmNetClient::connect_limited(
                             rpc.clone(),
                             self.dm_pool.clone(),
                             self.config.dm_client_cache,
+                            self.config.dm_client_limit,
                         )
                         .await
                     }
                     DmPlacement::Sharded(shard) => {
-                        DmNetClient::connect_sharded(
+                        DmNetClient::connect_sharded_limited(
                             rpc.clone(),
                             self.dm_pool.clone(),
                             self.config.dm_client_cache,
                             shard,
                             self.seed,
+                            self.config.dm_client_limit,
                         )
                         .await
                     }

@@ -28,7 +28,9 @@ use std::rc::Rc;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use dmcommon::{DmError, DmResult};
+use dmnet::admission::{Admission, AdmissionConfig};
 use dmrpc::{DmRpc, Value};
+use loadgen::Population;
 use simcore::{SimRng, Zipf};
 use simnet::Addr;
 
@@ -62,6 +64,31 @@ pub const POST_CAPACITY: usize = 4096;
 
 /// Workload mix (read-home, read-user, compose) — paper §VI-F.
 pub const MIX: [f64; 3] = [0.6, 0.3, 0.1];
+
+/// Front-door shed marker: a one-byte response no legitimate handler
+/// produces (compose returns `"ok"`/empty, reads return a ≥2-byte value
+/// list). The client maps it to [`DmError::Busy`].
+pub const SOC_BUSY_RESP: &[u8] = &[0xEE];
+
+/// Who receives home-timeline fan-out when a user composes.
+///
+/// `Fixed` is the historical fig11 graph ([`FOLLOWERS`] targets per user
+/// from a per-user reseeded RNG — kept bit-for-bit so committed CSVs
+/// stay byte-identical); `Scaled` defers to a [`loadgen::Population`]
+/// (~100 followers/user, materialised lazily per compose).
+enum FanoutGraph {
+    Fixed(Vec<Vec<u32>>),
+    Scaled(Population),
+}
+
+impl FanoutGraph {
+    fn followers(&self, user: u32) -> Vec<u32> {
+        match self {
+            FanoutGraph::Fixed(g) => g[user as usize].clone(),
+            FanoutGraph::Scaled(p) => p.followers(user),
+        }
+    }
+}
 
 struct TimelineMap {
     map: HashMap<u32, VecDeque<u64>>,
@@ -123,6 +150,14 @@ pub struct SocialApp {
     pub media_size: usize,
     /// The three server nodes (stats).
     pub servers: Vec<ServiceNode>,
+    /// Client-side whole-request admission gate (None when overload
+    /// control is not installed — the historical default). Shares the
+    /// nginx config: the gateway advertises its admission state and
+    /// cooperative clients fail fast *before* uploading media or issuing
+    /// DM fetches, so shed requests cost neither NIC bandwidth nor DM
+    /// allocations. The nginx entry handler keeps its own authoritative
+    /// instance for non-cooperative callers.
+    pub admission: Option<Rc<Admission>>,
     rng: SimRng,
     zipf: Zipf,
 }
@@ -133,6 +168,42 @@ pub async fn build_social(
     users: u32,
     media_size: usize,
     seed: u64,
+) -> SocialApp {
+    build_social_inner(cluster, users, media_size, seed, None, None).await
+}
+
+/// Deploy the social network over a scale-factor [`Population`], optionally
+/// installing front-door admission control at the nginx entry point.
+///
+/// The fan-out graph and hot-key sampler come from the population (so the
+/// same `SF` always produces the same workload, regardless of thread
+/// count), and the entry handler sheds with [`SOC_BUSY_RESP`] when the
+/// admission queue is full or CoDel is in a shedding episode.
+pub async fn build_social_scaled(
+    cluster: &Cluster,
+    pop: Population,
+    media_size: usize,
+    seed: u64,
+    entry_admission: Option<AdmissionConfig>,
+) -> SocialApp {
+    build_social_inner(
+        cluster,
+        pop.users(),
+        media_size,
+        seed,
+        Some(pop),
+        entry_admission,
+    )
+    .await
+}
+
+async fn build_social_inner(
+    cluster: &Cluster,
+    users: u32,
+    media_size: usize,
+    seed: u64,
+    pop: Option<Population>,
+    entry_admission: Option<AdmissionConfig>,
 ) -> SocialApp {
     let rng = SimRng::new(seed);
     let server_a = cluster.add_server("sn-a");
@@ -278,16 +349,19 @@ pub async fn build_social(
 
     // ---- compose-post (server B, port 101) ---------------------------------
     let compose_ep = cluster.endpoint(&server_b, 101).await;
-    let graph: Rc<Vec<Vec<u32>>> = Rc::new(
-        (0..users)
-            .map(|_| {
-                let g = SimRng::new(seed ^ 0xF00D);
-                (0..FOLLOWERS)
-                    .map(|_| g.gen_range(users as u64) as u32)
-                    .collect()
-            })
-            .collect(),
-    );
+    let graph: Rc<FanoutGraph> = Rc::new(match pop {
+        Some(p) => FanoutGraph::Scaled(p),
+        None => FanoutGraph::Fixed(
+            (0..users)
+                .map(|_| {
+                    let g = SimRng::new(seed ^ 0xF00D);
+                    (0..FOLLOWERS)
+                        .map(|_| g.gen_range(users as u64) as u32)
+                        .collect()
+                })
+                .collect(),
+        ),
+    });
     let next_post = Rc::new(std::cell::Cell::new(1u64));
     {
         let ep = compose_ep.clone();
@@ -318,7 +392,7 @@ pub async fn build_social(
                 app.put_u32_le(user);
                 app.put_u64_le(post_id);
                 let _ = ep.rpc().call(utl_addr, SOC_APPEND_UTL, app.freeze()).await;
-                for &f in &graph[user as usize] {
+                for f in graph.followers(user) {
                     let mut app = BytesMut::with_capacity(12);
                     app.put_u32_le(f);
                     app.put_u64_le(post_id);
@@ -372,11 +446,29 @@ pub async fn build_social(
     let proxy_addr = proxy_ep.addr();
 
     let nginx_ep = cluster.endpoint(&server_a, 100).await;
+    // Two limiter instances from one config: the nginx-side one protects
+    // the service tier from any caller; the client-side gate (returned in
+    // the app) bounds whole-request concurrency including the media
+    // upload and DM fetch phases the front door never sees.
+    let nginx_admission = entry_admission.map(|c| Rc::new(Admission::new(c)));
+    let admission: Option<Rc<Admission>> = entry_admission.map(|c| Rc::new(Admission::new(c)));
     {
         let ep = nginx_ep.clone();
+        let adm = nginx_admission.clone();
         nginx_ep.rpc().register(SOC_REQ, move |ctx| {
             let ep = ep.clone();
+            let adm = adm.clone();
             async move {
+                // The guard is held across the downstream call so CoDel
+                // observes the full end-to-end sojourn time at the front
+                // door; dropping it on shed keeps the counters exact.
+                let _guard = match &adm {
+                    None => None,
+                    Some(a) => match a.try_admit() {
+                        Some(g) => Some(g),
+                        None => return Bytes::from_static(SOC_BUSY_RESP),
+                    },
+                };
                 match ep.rpc().call(proxy_addr, SOC_REQ, ctx.payload).await {
                     Ok(resp) => resp,
                     Err(_) => Bytes::new(),
@@ -394,14 +486,36 @@ pub async fn build_social(
         users,
         media_size,
         servers: vec![server_a, server_b, server_c],
-        zipf: Zipf::new(rng.fork(), users as usize, 0.99),
+        admission,
+        // Scaled populations bring their own hot-key sampler (derived from
+        // the population seed, so SF alone pins the workload); the fixed
+        // path keeps its historical fork-of-the-build-seed sampler.
+        zipf: match pop {
+            Some(p) => p.sampler(),
+            None => Zipf::new(rng.fork(), users as usize, 0.99),
+        },
         rng,
     }
 }
 
 impl SocialApp {
+    /// Fail fast at the client gate when overload control is installed.
+    /// The returned guard spans the whole request, so the gate bounds
+    /// end-to-end concurrency (media upload + movers + DM fetches) and
+    /// its CoDel sees full-request sojourn times.
+    fn gate(&self) -> DmResult<Option<dmnet::admission::AdmitGuard<'_>>> {
+        match &self.admission {
+            None => Ok(None),
+            Some(a) => match a.try_admit() {
+                Some(g) => Ok(Some(g)),
+                None => Err(DmError::Busy),
+            },
+        }
+    }
+
     /// Compose a post with fresh media for `user`.
     pub async fn compose(&self, user: u32) -> DmResult<()> {
+        let _gate = self.gate()?;
         let media = Bytes::from(vec![(user % 251) as u8; self.media_size]);
         let v = self.client.make_value(media).await?;
         let mut req = BytesMut::with_capacity(5 + v.wire_bytes());
@@ -416,6 +530,13 @@ impl SocialApp {
             .map_err(|_| DmError::Transport)?;
         // NOTE: the Ref ownership passes to post-storage; the client does
         // not release it.
+        if resp.as_ref() == SOC_BUSY_RESP {
+            // The front door shed us before the post reached storage, so
+            // ownership never transferred — release the media ref here or
+            // every rejected compose would pin a DM page.
+            let _ = self.client.release(&v).await;
+            return Err(DmError::Busy);
+        }
         if resp.is_empty() {
             return Err(DmError::Malformed);
         }
@@ -423,6 +544,7 @@ impl SocialApp {
     }
 
     async fn read(&self, op: u8, user: u32) -> DmResult<usize> {
+        let _gate = self.gate()?;
         let mut req = BytesMut::with_capacity(5);
         req.put_u8(op);
         req.put_u32_le(user);
@@ -432,6 +554,9 @@ impl SocialApp {
             .call(self.entry, SOC_REQ, req.freeze())
             .await
             .map_err(|_| DmError::Transport)?;
+        if resp.as_ref() == SOC_BUSY_RESP {
+            return Err(DmError::Busy);
+        }
         let values = decode_values(&resp)?;
         // Materialize all posts concurrently (a real client would issue the
         // DM reads in parallel; inline values complete immediately).
@@ -584,6 +709,66 @@ mod tests {
             dm * 10 < erpc.max(1),
             "mover traffic: eRPC {erpc} vs DmRPC-net {dm}"
         );
+    }
+
+    #[test]
+    fn scaled_social_serves_population_workload() {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::DmNet, 2, ClusterConfig::default(), 99);
+            let pop = Population::new(1, 42);
+            let app = build_social_scaled(&cluster, pop, 2048, 7, None).await;
+            assert_eq!(app.users, 1000);
+            assert!(app.admission.is_none());
+            app.preload(20).await.unwrap();
+            for _ in 0..20 {
+                app.mixed_request().await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn front_door_shed_returns_busy_and_releases_media() {
+        let sim = Sim::new();
+        sim.block_on(async move {
+            let cluster = Cluster::new(SystemKind::DmNet, 2, ClusterConfig::default(), 99);
+            let pop = Population::new(1, 42);
+            // max_inflight: 0 would reject everything including the probe
+            // path; use a queue of 1 and race two composes instead.
+            let cfg = AdmissionConfig {
+                max_inflight: 1,
+                ..AdmissionConfig::default()
+            };
+            let app = Rc::new(build_social_scaled(&cluster, pop, 4096, 7, Some(cfg)).await);
+            let used_before = {
+                let pm = &cluster.dm_servers[0];
+                pm.with_page_manager(|pm| pm.capacity_pages() - pm.free_pages())
+            };
+            let a = {
+                let app = app.clone();
+                simcore::spawn(async move { app.compose(1).await })
+            };
+            let b = {
+                let app = app.clone();
+                simcore::spawn(async move { app.compose(2).await })
+            };
+            let (ra, rb) = (a.await, b.await);
+            let adm = app.admission.as_ref().expect("installed");
+            // Exactly one of the two composes must have been shed.
+            let shed_err = [&ra, &rb]
+                .iter()
+                .filter(|r| matches!(r, Err(DmError::Busy)))
+                .count();
+            assert_eq!(shed_err, 1, "got {ra:?} / {rb:?}");
+            assert_eq!(adm.rejected(), 1);
+            // The shed compose released its media ref: only the stored
+            // post's page remains pinned.
+            let used_after = {
+                let pm = &cluster.dm_servers[0];
+                pm.with_page_manager(|pm| pm.capacity_pages() - pm.free_pages())
+            };
+            assert_eq!(used_after - used_before, 1, "shed compose leaked a page");
+        });
     }
 
     #[test]

@@ -12,12 +12,21 @@ use simcore::{Histogram, SimRng, SimTime};
 /// Results of one measured run.
 #[derive(Clone)]
 pub struct Measured {
-    /// Latency of completed operations, in nanoseconds.
+    /// Latency of completed operations, in nanoseconds. Open-loop runs
+    /// measure from the *intended* Poisson arrival time, so queueing and
+    /// admission delay are included (no coordinated omission).
     pub latency: Histogram,
     /// Operations completed inside the measurement window.
     pub completed: u64,
-    /// Operations that returned an error.
+    /// Operations that returned a real error.
     pub errors: u64,
+    /// Operations refused by overload control (a typed `Busy` rejection
+    /// or a front-door shed) — deliberate load-shedding, kept distinct
+    /// from `errors` so goodput math doesn't conflate the two.
+    pub rejected: u64,
+    /// In-window operations issued by the driver (open loop: intended
+    /// arrivals; closed loop: ops both started and finished in-window).
+    pub issued: u64,
     /// Length of the measurement window.
     pub window: Duration,
 }
@@ -34,6 +43,28 @@ impl Measured {
     /// Goodput in bits/second given `bytes` moved per operation.
     pub fn throughput_gbps(&self, bytes_per_op: u64) -> f64 {
         self.throughput_rps() * bytes_per_op as f64 * 8.0 / 1e9
+    }
+
+    /// Fraction of issued in-window requests that completed successfully
+    /// (1.0 when nothing was issued). Under overload this is what the
+    /// offered load actually got served: rejections and errors both
+    /// count against it.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.issued as f64
+        }
+    }
+
+    /// SLO goodput: completed operations whose latency (from intended
+    /// arrival) stayed within `budget`, per second. The metric overload
+    /// control optimizes — requests served late count for nothing.
+    pub fn goodput_rps(&self, budget: Duration) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        self.latency.count_below(budget.as_nanos() as u64) as f64 / self.window.as_secs_f64()
     }
 
     /// Mean latency in microseconds.
@@ -103,6 +134,8 @@ where
         latency,
         completed: completed.get(),
         errors: errors.get(),
+        rejected: 0,
+        issued: completed.get() + errors.get(),
         window,
     }
 }
@@ -110,12 +143,43 @@ where
 /// Run `op` under an open-loop Poisson arrival process at `rate_rps` for
 /// `warmup + window`. Returns measured stats; in-flight requests at window
 /// end are awaited (their latencies count if they started in the window).
+///
+/// Every error counts as a real error; see
+/// [`run_open_loop_classified`] to separate overload rejections.
 pub async fn run_open_loop<F, Fut, E>(
     rate_rps: f64,
     warmup: Duration,
     window: Duration,
     rng: SimRng,
     op: Rc<F>,
+) -> Measured
+where
+    F: Fn(u64) -> Fut + 'static,
+    Fut: Future<Output = Result<(), E>> + 'static,
+    E: 'static,
+{
+    run_open_loop_classified(rate_rps, warmup, window, rng, op, Rc::new(|_: &E| false)).await
+}
+
+/// [`run_open_loop`] with an error classifier: errors for which
+/// `is_rejection` returns true are counted as [`Measured::rejected`]
+/// (deliberately shed load) instead of [`Measured::errors`].
+///
+/// Latency is measured from each request's **intended Poisson arrival
+/// time**, not from whenever its task first ran — the classic
+/// coordinated-omission fix: under overload, delay between when a
+/// request *should* have been issued and when it made progress is
+/// queueing the user experienced and must show in the percentiles. The
+/// arrival clock accumulates exact inter-arrival gaps, so the sleep
+/// schedule (and thus the event schedule) is identical to the historical
+/// sleep-per-gap driver.
+pub async fn run_open_loop_classified<F, Fut, E>(
+    rate_rps: f64,
+    warmup: Duration,
+    window: Duration,
+    rng: SimRng,
+    op: Rc<F>,
+    is_rejection: Rc<dyn Fn(&E) -> bool>,
 ) -> Measured
 where
     F: Fn(u64) -> Fut + 'static,
@@ -129,34 +193,46 @@ where
     let latency = Histogram::new();
     let completed = Rc::new(Cell::new(0u64));
     let errors = Rc::new(Cell::new(0u64));
+    let rejected = Rc::new(Cell::new(0u64));
     let mean_gap_ns = 1e9 / rate_rps;
 
     let mut handles = Vec::new();
     let mut seq = 0u64;
+    let mut issued = 0u64;
+    let mut next_arrival = start;
     loop {
         let gap = rng.gen_exp(mean_gap_ns);
-        simcore::sleep(Duration::from_nanos(gap as u64)).await;
+        next_arrival += Duration::from_nanos(gap as u64);
         let now = simcore::now();
-        if now >= end {
+        if next_arrival > now {
+            simcore::sleep(next_arrival - now).await;
+        }
+        if next_arrival >= end {
             break;
         }
         let op = op.clone();
         let latency = latency.clone();
         let completed = completed.clone();
         let errors = errors.clone();
-        let in_window = now >= measure_from;
+        let rejected = rejected.clone();
+        let is_rejection = is_rejection.clone();
+        let in_window = next_arrival >= measure_from;
+        if in_window {
+            issued += 1;
+        }
+        let arrival = next_arrival;
         let n = seq;
         seq += 1;
         handles.push(simcore::spawn(async move {
-            let t0 = simcore::now();
             let r = op(n).await;
             let t1 = simcore::now();
             if in_window {
                 match r {
                     Ok(()) => {
-                        latency.record((t1 - t0).as_nanos() as u64);
+                        latency.record((t1 - arrival).as_nanos() as u64);
                         completed.set(completed.get() + 1);
                     }
+                    Err(e) if is_rejection(&e) => rejected.set(rejected.get() + 1),
                     Err(_) => errors.set(errors.get() + 1),
                 }
             }
@@ -169,6 +245,8 @@ where
         latency,
         completed: completed.get(),
         errors: errors.get(),
+        rejected: rejected.get(),
+        issued,
         window,
     }
 }
@@ -378,6 +456,87 @@ mod tests {
             "saturated queue should back up: {}us",
             m.avg_latency_us()
         );
+    }
+
+    #[test]
+    fn open_loop_p99_includes_queueing_delay() {
+        // Coordinated-omission regression: a single-server queue offered
+        // 2x its service rate builds a standing queue that grows through
+        // the window; measuring from the *intended arrival* must surface
+        // that wait in the tail, orders of magnitude above the 10us
+        // service time (an uncorrected driver that timed only the op
+        // body would report ~10us forever).
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            let sem = simcore::sync::Semaphore::new(1);
+            run_open_loop(
+                200_000.0, // offered 200k rps
+                Duration::ZERO,
+                Duration::from_millis(5),
+                SimRng::new(9),
+                Rc::new(move |_n| {
+                    let sem = sem.clone();
+                    async move {
+                        let _p = sem.acquire_one().await;
+                        simcore::sleep(Duration::from_micros(10)).await; // cap 100k
+                        Ok::<(), ()>(())
+                    }
+                }),
+            )
+            .await
+        });
+        let p99 = m.latency_us(0.99);
+        assert!(
+            p99 > 1_000.0,
+            "p99 must show the ~2.5ms standing queue, got {p99}us"
+        );
+        assert!(
+            m.latency_us(0.5) > 100.0,
+            "even the median queues at 2x overload: {}us",
+            m.latency_us(0.5)
+        );
+        // SLO goodput: almost nothing completed within a 50us budget.
+        let slo = m.goodput_rps(Duration::from_micros(50));
+        assert!(slo < 20_000.0, "SLO goodput under overload: {slo}");
+    }
+
+    #[test]
+    fn open_loop_separates_rejections_from_errors() {
+        #[derive(Debug)]
+        enum OpErr {
+            Shed,
+            Real,
+        }
+        let sim = Sim::new();
+        let m = sim.block_on(async {
+            run_open_loop_classified(
+                100_000.0,
+                Duration::ZERO,
+                Duration::from_millis(2),
+                SimRng::new(5),
+                Rc::new(|n| async move {
+                    simcore::sleep(Duration::from_micros(1)).await;
+                    match n % 4 {
+                        0 => Err(OpErr::Shed),
+                        1 => Err(OpErr::Real),
+                        _ => Ok(()),
+                    }
+                }),
+                Rc::new(|e: &OpErr| matches!(e, OpErr::Shed)),
+            )
+            .await
+        });
+        assert!(m.rejected > 0, "shed ops counted separately");
+        assert!(m.errors > 0, "real errors still counted");
+        assert!(
+            (m.rejected as i64 - m.errors as i64).abs() <= 2,
+            "1-in-4 each: rejected {} vs errors {}",
+            m.rejected,
+            m.errors
+        );
+        assert_eq!(m.issued, m.completed + m.errors + m.rejected);
+        let gf = m.goodput_fraction();
+        assert!((gf - 0.5).abs() < 0.05, "goodput fraction {gf}");
     }
 
     #[test]

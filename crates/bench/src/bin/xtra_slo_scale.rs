@@ -1,0 +1,7 @@
+//! Scale-factor sweep with open-loop overload control and SLO reporting
+//! (DESIGN.md §14): emits `results/xtra_slo_scale.csv` and
+//! `results/BENCH_slo_scale.json`.
+
+fn main() {
+    bench::slo_scale::run();
+}

@@ -28,10 +28,12 @@ use std::time::Duration;
 
 use apps::chain::build_chain;
 use apps::cluster::{Cluster, ClusterConfig, SystemKind};
-use apps::workload::run_closed_loop;
+use apps::social::build_social_scaled;
+use apps::workload::{run_closed_loop, run_open_loop_classified};
 use bytes::Bytes;
 use dmnet::{CacheConfig, DmNetClient, DmServerConfig};
 use dmrpc::DmHandle;
+use loadgen::Population;
 use memsim::ModelParams;
 use rpclib::{RpcBuilder, RpcConfig};
 use simcore::{Sim, SimRng};
@@ -767,6 +769,160 @@ pub fn run_sharded_case(fault: FaultClass, seed: u64) -> CaseResult {
     }
 }
 
+/// Scale factor for the overloaded social case: 10k users, big enough to
+/// exercise the scaled population plumbing, small enough to keep the
+/// seed sweep fast.
+const SLO_SOCIAL_SF: u32 = 10;
+
+/// Offered rate for the social case: 1.2× the SF=10 knee measured by
+/// `xtra_slo_scale` (250 krps) — past saturation by design, so the
+/// admission plane sheds under every fault class.
+const SLO_SOCIAL_RATE: f64 = 300e3;
+
+/// DeathStarBench social workload over a scaled population, offered 1.2×
+/// its measured knee with the full overload-control plane ON (front-door
+/// admission + CoDel at nginx, bounded DM-server admission, client token
+/// limiting), under one fault class. On top of the shared invariants:
+///
+/// * **graceful degradation** — even overloaded and faulted, goodput
+///   never collapses to zero: some requests complete, and `Busy` sheds
+///   are typed rejections, never hangs or violations;
+/// * **no leaks under shedding** — a shed compose must release the media
+///   ref it minted before the front door bounced it; after heal +
+///   client-crash + lease sweep, every page is back on the free lists
+///   (media of shed composes included).
+pub fn run_slo_social_case(fault: FaultClass, seed: u64) -> CaseResult {
+    let sim = Sim::new();
+    let (completed, errors, checksum, violations) = sim.block_on(async move {
+        let config = ClusterConfig {
+            rpc: chaos_rpc_config(),
+            lease_ttl: Some(LEASE_TTL),
+            dm_capacity_pages: 4096,
+            // Explicit per-class durability keeps the fingerprints
+            // independent of `DM_DURABLE` (see `run_chain_case`).
+            dm_durability: (fault == FaultClass::ServerCrashRecovery)
+                .then(dmnet::WalConfig::zero_cost),
+            dm_admission: Some(dmnet::AdmissionConfig::default()),
+            dm_client_limit: dmnet::ClientLimitConfig::enabled(),
+            ..Default::default()
+        };
+        let cluster = Cluster::new(SystemKind::DmNet, 2, config, seed);
+        let pop = Population::new(SLO_SOCIAL_SF, 42);
+        let app = Rc::new(
+            build_social_scaled(
+                &cluster,
+                pop,
+                8192,
+                seed,
+                Some(crate::slo_scale::front_admission()),
+            )
+            .await,
+        );
+        // Preload is fault-free: the driver spawns after it.
+        app.preload(50).await.expect("fault-free preload");
+
+        let mut nodes: Vec<NodeId> = cluster.servers().iter().map(|s| s.id).collect();
+        nodes.extend(cluster.dm_servers.iter().map(|s| s.addr().node));
+        let links: Vec<(NodeId, NodeId)> = nodes
+            .iter()
+            .flat_map(|&a| nodes.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let stop = Rc::new(Cell::new(false));
+        let checksum = Rc::new(Cell::new(0u64));
+        let violations = Rc::new(RefCell::new(Vec::new()));
+        spawn_fault_driver(
+            cluster.net.clone(),
+            links,
+            cluster.dm_servers.clone(),
+            fault,
+            SimRng::new(seed ^ 0xFA11),
+            stop.clone(),
+            violations.clone(),
+        );
+
+        let m = {
+            let app = app.clone();
+            let checksum = checksum.clone();
+            run_open_loop_classified(
+                SLO_SOCIAL_RATE,
+                Duration::from_micros(100),
+                Duration::from_micros(1000),
+                SimRng::new(seed ^ 0x510),
+                Rc::new(move |n: u64| {
+                    let app = app.clone();
+                    let checksum = checksum.clone();
+                    async move {
+                        app.mixed_request().await?;
+                        // Completion-order fold: part of the determinism
+                        // fingerprint.
+                        checksum.set(checksum.get().wrapping_mul(31).wrapping_add(n));
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+                Rc::new(|e: &dmcommon::DmError| matches!(e, dmcommon::DmError::Busy)),
+            )
+            .await
+        };
+
+        // Heal and drain.
+        stop.set(true);
+        cluster.net.clear_faults();
+        for s in &cluster.dm_servers {
+            s.restart();
+        }
+        simcore::sleep(Duration::from_millis(1)).await;
+
+        let mut violations = violations.borrow().clone();
+        if m.completed == 0 {
+            violations.push(format!(
+                "slo-social: goodput collapsed to zero ({} errors, {} rejected)",
+                m.errors, m.rejected
+            ));
+        }
+        for s in &cluster.dm_servers {
+            s.check_invariants_all();
+        }
+        // Fail-stop every client process; once the leases expire the
+        // sweeper must return every page — including media refs minted by
+        // composes the front door later shed — to the free list.
+        for ep in cluster.endpoints() {
+            if let Some(DmHandle::Net(c)) = ep.dm() {
+                c.simulate_crash();
+            }
+        }
+        simcore::sleep(3 * LEASE_TTL).await;
+        for s in &cluster.dm_servers {
+            s.sweep_expired_leases();
+            s.check_invariants_all();
+            if s.free_pages_total() != s.capacity_pages_total() {
+                violations.push(format!(
+                    "slo-social page leak after lease reclamation: {} free of {}",
+                    s.free_pages_total(),
+                    s.capacity_pages_total()
+                ));
+            }
+        }
+        // Rejections are deliberate shed, not errors: fold them into the
+        // fingerprint via the error count so a classifier regression
+        // (Busy counted as a real error) shifts the fingerprint.
+        (
+            m.completed,
+            m.errors + m.rejected,
+            checksum.get(),
+            violations,
+        )
+    });
+    CaseResult {
+        completed,
+        errors,
+        end_ns: sim.now().nanos(),
+        polls: sim.poll_count(),
+        checksum,
+        violations,
+    }
+}
+
 type Case = Box<dyn Fn() -> CaseResult>;
 
 /// One executed case with its identity: the unit the parallel sweep must
@@ -798,7 +954,7 @@ fn run_seed(seed: u64, determinism_stride: u64) -> SeedResults {
     let mut records = Vec::new();
     let mut violations = Vec::new();
     for fault in FaultClass::ALL {
-        let cases: [(&'static str, Case); 4] = [
+        let cases: [(&'static str, Case); 5] = [
             (
                 "fig5-chain/erpc",
                 Box::new(move || run_chain_case(SystemKind::Erpc, fault, seed)),
@@ -814,6 +970,10 @@ fn run_seed(seed: u64, determinism_stride: u64) -> SeedResults {
             (
                 "shard-migrate/dmnet",
                 Box::new(move || run_sharded_case(fault, seed)),
+            ),
+            (
+                "slo-social/dmnet",
+                Box::new(move || run_slo_social_case(fault, seed)),
             ),
         ];
         for (name, case) in cases {

@@ -19,6 +19,7 @@
 //! | `recovery` | durable-tier recovery cost + zero-cost durability contract (DESIGN.md §12) |
 //! | `rtt_budget` | control-plane RTTs/op with the §9 client cache + coalescer off vs on |
 //! | `latency_breakdown` | per-RPC latency attribution from the telemetry span trees (§10) |
+//! | `slo_scale` | scale-factor sweep (1k→1M users) with overload control + SLO knees (§14) |
 
 #![warn(missing_docs)]
 
@@ -38,4 +39,5 @@ pub mod report;
 pub mod rtt_budget;
 pub mod shard_scaling;
 pub mod sim_throughput;
+pub mod slo_scale;
 pub mod table1;

@@ -227,6 +227,9 @@ pub enum DmError {
     Malformed,
     /// The underlying RPC transport failed.
     Transport,
+    /// The server's admission queue is full (or it is shedding load);
+    /// the request was rejected without being executed — retry later.
+    Busy,
 }
 
 impl fmt::Display for DmError {
@@ -238,6 +241,7 @@ impl fmt::Display for DmError {
             DmError::OutOfBounds => "DM access out of bounds",
             DmError::Malformed => "malformed DM message",
             DmError::Transport => "DM transport failure",
+            DmError::Busy => "DM server busy, retry later",
         };
         f.write_str(s)
     }

@@ -1,0 +1,238 @@
+//! Server-side overload control: a bounded admission queue plus
+//! CoDel-style queue-delay shedding (DESIGN.md §14).
+//!
+//! Two independent mechanisms, both answering "should this request be
+//! rejected *now*, before any work is done on it":
+//!
+//! - **Bounded admission.** At most `max_inflight` requests may be in
+//!   flight (admitted but not yet answered). Beyond that the server is
+//!   already saturated — queueing more requests only converts offered
+//!   load into latency, so the request is refused with the typed
+//!   [`DmError::Busy`](dmcommon::DmError) wire code and the client
+//!   retries with backoff.
+//! - **CoDel-style shedding.** Bounding the queue caps *depth*, not
+//!   *delay*: a queue of 256 slow requests still blows any latency SLO.
+//!   Following CoDel (Nichols & Jacobson, CACM 2012) the controller
+//!   watches the *sojourn time* of completing requests (admission →
+//!   response ready). When every completion in a full `interval` has
+//!   been above `target`, the standing queue is too long and new
+//!   arrivals are shed until a completion dips back under `target`.
+//!
+//! The struct is deliberately passive — a counter/deadline state machine
+//! with no tasks, timers, or RNG draws — so installing it changes
+//! nothing about the event schedule until the moment it rejects a
+//! request. Servers built without an [`AdmissionConfig`] skip it
+//! entirely; every committed fault-free CSV is generated on that path.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use simcore::SimTime;
+
+/// Tuning for [`Admission`]. `Copy` so cluster configs stay `Copy`.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum admitted-but-unanswered requests before new arrivals are
+    /// refused with `Busy`.
+    pub max_inflight: u64,
+    /// Sojourn-time target: completions above this indicate a standing
+    /// queue.
+    pub codel_target: Duration,
+    /// How long completions must stay above target before shedding
+    /// engages.
+    pub codel_interval: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 256,
+            codel_target: Duration::from_micros(50),
+            codel_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// The admission state machine. See the module docs for semantics.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    inflight: Cell<u64>,
+    rejected: Cell<u64>,
+    shed: Cell<u64>,
+    /// Start of the current above-target streak, if any.
+    above_since: Cell<Option<SimTime>>,
+    shedding: Cell<bool>,
+}
+
+impl Admission {
+    /// A fresh controller with zeroed counters.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            inflight: Cell::new(0),
+            rejected: Cell::new(0),
+            shed: Cell::new(0),
+            above_since: Cell::new(None),
+            shedding: Cell::new(false),
+        }
+    }
+
+    /// Try to admit one request. `None` means the request must be
+    /// refused (the rejected/shed counter has already been bumped); the
+    /// returned guard tracks the request's sojourn and releases its slot
+    /// on drop — including when the handler future is cancelled by a
+    /// crash, so slots can never leak.
+    pub fn try_admit(&self) -> Option<AdmitGuard<'_>> {
+        if self.inflight.get() >= self.cfg.max_inflight {
+            self.rejected.set(self.rejected.get() + 1);
+            return None;
+        }
+        // While shedding, refuse arrivals — except when nothing is in
+        // flight: then one request is admitted as a *probe* (there is no
+        // completion left to ever clear the state otherwise). A probe
+        // finishing under target ends shedding; one finishing over it
+        // keeps the controller serialised at probe rate, which is the
+        // CoDel drop-mode analogue.
+        if self.shedding.get() && self.inflight.get() > 0 {
+            self.shed.set(self.shed.get() + 1);
+            return None;
+        }
+        self.inflight.set(self.inflight.get() + 1);
+        Some(AdmitGuard {
+            adm: self,
+            entered: simcore::now(),
+        })
+    }
+
+    /// CoDel observation, fed by [`AdmitGuard::drop`] with the sojourn
+    /// of each completing request.
+    fn observe(&self, sojourn: Duration) {
+        if sojourn > self.cfg.codel_target {
+            let now = simcore::now();
+            match self.above_since.get() {
+                None => self.above_since.set(Some(now)),
+                Some(t0) => {
+                    if now - t0 >= self.cfg.codel_interval {
+                        self.shedding.set(true);
+                    }
+                }
+            }
+        } else {
+            // One fast completion ends both the streak and any shedding.
+            self.above_since.set(None);
+            self.shedding.set(false);
+        }
+    }
+
+    /// Requests currently admitted and unanswered.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.get()
+    }
+
+    /// Requests refused because the inflight bound was hit.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Requests refused by CoDel shedding.
+    pub fn shed(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// Whether the controller is currently shedding new arrivals.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding.get()
+    }
+
+    /// Forget transient state (streaks, shedding) across a server
+    /// restart; cumulative counters survive for observability.
+    pub fn reset_transient(&self) {
+        self.above_since.set(None);
+        self.shedding.set(false);
+    }
+}
+
+/// Slot held by an admitted request; see [`Admission::try_admit`].
+pub struct AdmitGuard<'a> {
+    adm: &'a Admission,
+    entered: SimTime,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let a = self.adm;
+        a.inflight.set(a.inflight.get().saturating_sub(1));
+        a.observe(simcore::now() - self.entered);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight: 2,
+            codel_target: Duration::from_micros(50),
+            codel_interval: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn inflight_bound_rejects_and_releases() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let a = Admission::new(cfg());
+            let g1 = a.try_admit().unwrap();
+            let _g2 = a.try_admit().unwrap();
+            assert!(a.try_admit().is_none(), "third request over the bound");
+            assert_eq!(a.rejected(), 1);
+            drop(g1);
+            assert!(a.try_admit().is_some(), "slot released on drop");
+        });
+    }
+
+    #[test]
+    fn codel_sheds_after_sustained_delay_and_recovers() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let a = Admission::new(cfg());
+            // Slow completions spanning more than one interval: the
+            // first starts the streak, later ones trip shedding.
+            for _ in 0..3 {
+                let g = a.try_admit().unwrap();
+                simcore::sleep(Duration::from_micros(120)).await;
+                drop(g);
+            }
+            assert!(a.is_shedding(), "sustained over-target sojourns shed");
+            // With a probe in flight, further arrivals are shed.
+            let probe = a.try_admit().expect("empty server admits a probe");
+            assert!(a.try_admit().is_none());
+            assert_eq!(a.shed(), 1);
+            // The probe completing under target ends shedding.
+            drop(probe);
+            assert!(!a.is_shedding());
+            assert!(a.try_admit().is_some());
+        });
+    }
+
+    #[test]
+    fn restart_clears_transient_state_not_counters() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let a = Admission::new(cfg());
+            for _ in 0..3 {
+                let g = a.try_admit().unwrap();
+                simcore::sleep(Duration::from_micros(120)).await;
+                drop(g);
+            }
+            let probe = a.try_admit().unwrap();
+            assert!(a.try_admit().is_none());
+            a.reset_transient();
+            assert!(!a.is_shedding(), "restart clears shedding");
+            assert_eq!(a.shed(), 1, "cumulative counters survive restart");
+            drop(probe);
+        });
+    }
+}

@@ -21,7 +21,8 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use dmcommon::{DmError, DmResult, DmServerId, GlobalPid, Ref, RemoteAddr};
-use rpclib::Rpc;
+use rpclib::{Backoff, Rpc};
+use simcore::sync::Semaphore;
 use simnet::Addr;
 
 use crate::cache::{CacheConfig, CacheStats, ClientCache, FreeAction};
@@ -31,6 +32,50 @@ use crate::shard::{HashRing, ShardConfig, GKEY_BIT};
 /// Queued control ops per server before a flush is forced ahead of the
 /// timer (bounds batch size and client-side queue memory).
 const MAX_BATCH_OPS: usize = 64;
+
+/// Client-side overload behavior (DESIGN.md §14): an optional token
+/// limit bounding this process's concurrent DM wire ops, and a
+/// backpressure-aware retry policy for the server's typed
+/// [`DmError::Busy`] rejection. The default turns both off — a client
+/// built with it behaves draw-for-draw like one built before overload
+/// control existed (`Busy` then surfaces to the caller like any error).
+#[derive(Clone, Copy, Debug)]
+pub struct ClientLimitConfig {
+    /// Max concurrent wire requests from this client (`None` = unlimited).
+    /// Excess callers wait locally — backpressure instead of offered load.
+    pub max_inflight: Option<u64>,
+    /// How many times a `Busy` rejection is retried (with backoff) before
+    /// surfacing to the caller. 0 = never retry.
+    pub busy_retries: u32,
+    /// First retry wait; doubles per attempt (the PR 2 backoff schedule,
+    /// via [`rpclib::Backoff`]).
+    pub busy_backoff: Duration,
+    /// Backoff saturation.
+    pub busy_backoff_cap: Duration,
+}
+
+impl Default for ClientLimitConfig {
+    fn default() -> Self {
+        ClientLimitConfig {
+            max_inflight: None,
+            busy_retries: 0,
+            busy_backoff: Duration::from_micros(20),
+            busy_backoff_cap: Duration::from_micros(640),
+        }
+    }
+}
+
+impl ClientLimitConfig {
+    /// A sensible "on" policy for overload experiments: bounded client
+    /// concurrency plus three backed-off retries.
+    pub fn enabled() -> ClientLimitConfig {
+        ClientLimitConfig {
+            max_inflight: Some(64),
+            busy_retries: 3,
+            ..ClientLimitConfig::default()
+        }
+    }
+}
 
 /// Client-side shard router (DESIGN.md §13). Present only on clients built
 /// with [`DmNetClient::connect_sharded`]: `put_ref` then mints global keys
@@ -80,6 +125,13 @@ pub struct DmNetClient {
     /// Sharded placement (DESIGN.md §13), present only on clients built
     /// with [`DmNetClient::connect_sharded`].
     router: Option<ShardRouter>,
+    /// Overload behavior (DESIGN.md §14).
+    limit: ClientLimitConfig,
+    /// Token pool bounding concurrent wire ops, when `limit.max_inflight`
+    /// is set.
+    tokens: Option<Semaphore>,
+    /// `Busy` rejections absorbed by the retry loop (observability).
+    busy_retried: Cell<u64>,
 }
 
 impl DmNetClient {
@@ -97,6 +149,18 @@ impl DmNetClient {
         rpc: Rc<Rpc>,
         servers: Vec<Addr>,
         cache: CacheConfig,
+    ) -> DmResult<DmNetClient> {
+        DmNetClient::connect_limited(rpc, servers, cache, ClientLimitConfig::default()).await
+    }
+
+    /// [`DmNetClient::connect_with`] plus client-side overload behavior
+    /// (DESIGN.md §14): a token pool bounding this process's concurrent
+    /// wire ops and a backed-off retry loop for typed `Busy` rejections.
+    pub async fn connect_limited(
+        rpc: Rc<Rpc>,
+        servers: Vec<Addr>,
+        cache: CacheConfig,
+        limit: ClientLimitConfig,
     ) -> DmResult<DmNetClient> {
         assert!(!servers.is_empty(), "DM pool must have at least one server");
         let cache = Rc::new(ClientCache::new(servers.len(), cache));
@@ -153,6 +217,9 @@ impl DmNetClient {
             alive,
             cache,
             router: None,
+            limit,
+            tokens: limit.max_inflight.map(Semaphore::new),
+            busy_retried: Cell::new(0),
         })
     }
 
@@ -167,8 +234,29 @@ impl DmNetClient {
         shard: ShardConfig,
         seed: u64,
     ) -> DmResult<DmNetClient> {
+        DmNetClient::connect_sharded_limited(
+            rpc,
+            servers,
+            cache,
+            shard,
+            seed,
+            ClientLimitConfig::default(),
+        )
+        .await
+    }
+
+    /// [`DmNetClient::connect_sharded`] with client-side overload
+    /// behavior (DESIGN.md §14).
+    pub async fn connect_sharded_limited(
+        rpc: Rc<Rpc>,
+        servers: Vec<Addr>,
+        cache: CacheConfig,
+        shard: ShardConfig,
+        seed: u64,
+        limit: ClientLimitConfig,
+    ) -> DmResult<DmNetClient> {
         let n = servers.len();
-        let mut client = DmNetClient::connect_with(rpc, servers, cache).await?;
+        let mut client = DmNetClient::connect_limited(rpc, servers, cache, limit).await?;
         let addr = client.rpc.addr();
         assert!(addr.node.0 < (1 << 15), "gkey node space is 15 bits");
         client.router = Some(ShardRouter {
@@ -244,11 +332,51 @@ impl DmNetClient {
         self.pids[id.0 as usize]
     }
 
+    /// `Busy` rejections this client absorbed by retrying (0 unless a
+    /// [`ClientLimitConfig`] with retries is installed).
+    pub fn busy_retried(&self) -> u64 {
+        self.busy_retried.get()
+    }
+
+    /// Fresh backoff for one op's `Busy`-retry loop (the PR 2 schedule).
+    fn busy_backoff(&self) -> Backoff {
+        Backoff::new(self.limit.busy_backoff, self.limit.busy_backoff_cap)
+    }
+
     /// Send one wire request and fold the piggybacked invalidation epoch
     /// into the cache. Returns the epoch alongside the decoded result so
     /// fill paths can stamp entries with the epoch their bytes were read
-    /// under.
+    /// under. Wraps the raw send in the client-side overload behavior:
+    /// token acquisition (when a concurrency limit is installed) and a
+    /// backed-off retry of typed `Busy` rejections. With the default
+    /// (off) config neither path touches an await point or RNG, so the
+    /// schedule is identical to the raw send.
     async fn request_ep(&self, server: DmServerId, ty: u8, body: Bytes) -> (u64, DmResult<Bytes>) {
+        let _token = match &self.tokens {
+            Some(sem) => Some(sem.acquire_one().await),
+            None => None,
+        };
+        let mut backoff = self.busy_backoff();
+        let mut retries_left = self.limit.busy_retries;
+        loop {
+            let (epoch, result) = self.request_ep_raw(server, ty, body.clone()).await;
+            match result {
+                Err(DmError::Busy) if retries_left > 0 => {
+                    retries_left -= 1;
+                    self.busy_retried.set(self.busy_retried.get() + 1);
+                    simcore::sleep(backoff.next_wait()).await;
+                }
+                _ => return (epoch, result),
+            }
+        }
+    }
+
+    async fn request_ep_raw(
+        &self,
+        server: DmServerId,
+        ty: u8,
+        body: Bytes,
+    ) -> (u64, DmResult<Bytes>) {
         let addr = match self.server_addr(server) {
             Ok(a) => a,
             Err(e) => return (0, Err(e)),
@@ -292,6 +420,28 @@ impl DmNetClient {
     /// chase is bounded by the pool size (a tombstone chain cannot revisit
     /// a server without the gkey having answered there).
     async fn request_routed(&self, gkey: u64, ty: u8, body: Bytes) -> (u64, DmResult<Bytes>) {
+        let _token = match &self.tokens {
+            Some(sem) => Some(sem.acquire_one().await),
+            None => None,
+        };
+        let mut backoff = self.busy_backoff();
+        let mut retries_left = self.limit.busy_retries;
+        loop {
+            let (epoch, result) = self.request_routed_raw(gkey, ty, body.clone()).await;
+            match result {
+                Err(DmError::Busy) if retries_left > 0 => {
+                    retries_left -= 1;
+                    self.busy_retried.set(self.busy_retried.get() + 1);
+                    // Re-resolve the route after the wait: the gkey may
+                    // have migrated while the server was saturated.
+                    simcore::sleep(backoff.next_wait()).await;
+                }
+                _ => return (epoch, result),
+            }
+        }
+    }
+
+    async fn request_routed_raw(&self, gkey: u64, ty: u8, body: Bytes) -> (u64, DmResult<Bytes>) {
         let mut server = self.route_gkey(gkey);
         for _ in 0..self.servers.len() + 1 {
             let addr = match self.server_addr(server) {

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod page_manager;
@@ -34,8 +35,9 @@ pub mod wal;
 /// Re-export of the shared VA-range allocator (lives in [`dmcommon`]).
 pub use dmcommon::va_tree;
 
+pub use admission::{Admission, AdmissionConfig};
 pub use cache::{CacheConfig, CacheStats};
-pub use client::DmNetClient;
+pub use client::{ClientLimitConfig, DmNetClient};
 pub use page_manager::{OpCost, PageManager};
 pub use server::{start_pool, DmServer, DmServerConfig, RecoveryReport};
 pub use shard::{HashRing, ShardConfig, GKEY_BIT};

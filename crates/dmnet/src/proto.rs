@@ -119,6 +119,8 @@ const ERR_TABLE: &[(DmError, u8)] = &[
     (DmError::OutOfBounds, 4),
     (DmError::Malformed, 5),
     (DmError::Transport, 6),
+    // 7 is CODE_MOVED (a redirect, not an error); Busy takes the next slot.
+    (DmError::Busy, 8),
 ];
 
 fn err_code(e: DmError) -> u8 {

@@ -31,6 +31,7 @@ use simcore::{CpuPool, SimRng};
 use simnet::{Network, NodeId};
 use telemetry::SpanKind;
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::page_manager::{OpCost, PageManager};
 use crate::proto::{self, err_response, moved_response, ok_response, req, Reader, Writer};
 use crate::shard::GKEY_BIT;
@@ -113,6 +114,13 @@ pub struct DmServerConfig {
     /// selects the zero-cost media model (full bookkeeping, unchanged
     /// schedule — committed CSVs stay byte-identical).
     pub durability: Option<WalConfig>,
+    /// Overload control (DESIGN.md §14): when set, requests pass a
+    /// bounded admission queue with CoDel-style queue-delay shedding and
+    /// are refused with the typed `Busy` wire code when the server is
+    /// saturated. `None` (default) admits everything — the schedule and
+    /// wire bytes are then identical to a server built before admission
+    /// control existed.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for DmServerConfig {
@@ -129,6 +137,7 @@ impl Default for DmServerConfig {
             hw_translation: false,
             lease_ttl: None,
             durability: WalConfig::from_env(),
+            admission: None,
         }
     }
 }
@@ -185,6 +194,8 @@ pub struct DmServer {
     redirects: Cell<u64>,
     translation_ns: Cell<u64>,
     op_ns: Cell<u64>,
+    /// Overload controller, present when `config.admission` is set.
+    admission: Option<Admission>,
 }
 
 impl DmServer {
@@ -250,6 +261,7 @@ impl DmServer {
             redirects: Cell::new(0),
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
+            admission: config.admission.map(Admission::new),
         });
         server.register_handlers();
         server.spawn_sweeper();
@@ -345,6 +357,11 @@ impl DmServer {
                 *exp = (*exp).max(grace);
             }
         }
+        // Pre-crash queue-delay streaks say nothing about the restarted
+        // server; shedding must not survive a restart.
+        if let Some(a) = &self.admission {
+            a.reset_transient();
+        }
         self.spawn_sweeper();
     }
 
@@ -393,6 +410,17 @@ impl DmServer {
     /// Redirect responses served off tombstones.
     pub fn redirects(&self) -> u64 {
         self.redirects.get()
+    }
+
+    /// Requests refused because the admission queue was full (0 when
+    /// overload control is off — the `dm.shard.N.rejected` gauge).
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission.as_ref().map_or(0, |a| a.rejected())
+    }
+
+    /// Requests refused by CoDel shedding (the `dm.shard.N.shed` gauge).
+    pub fn admission_shed(&self) -> u64 {
+        self.admission.as_ref().map_or(0, |a| a.shed())
     }
 
     /// Gkeys currently homed on this server (observability for tests).
@@ -1005,8 +1033,27 @@ impl DmServer {
         }
     }
 
+    /// Ops that bypass admission control: registration and lease renewal
+    /// are liveness traffic — shedding a renewal under overload would
+    /// convert a latency problem into spurious lease reclamation — and
+    /// `BATCH` carries deferred releases whose loss would leak pins.
+    fn admission_exempt(ty: u8) -> bool {
+        matches!(ty, req::REGISTER | req::RENEW_LEASE | req::BATCH)
+    }
+
     async fn handle(self: Rc<Self>, ty: u8, src: simnet::Addr, body: Bytes) -> Bytes {
         self.ops_served.set(self.ops_served.get() + 1);
+        // Overload control (DESIGN.md §14): refuse before any CPU is
+        // charged or span opened — a rejected request must be as cheap
+        // as possible. Servers without admission skip this entirely.
+        let _admit = match &self.admission {
+            None => None,
+            Some(_) if Self::admission_exempt(ty) => None,
+            Some(a) => match a.try_admit() {
+                Some(guard) => Some(guard),
+                None => return err_response(self.epoch.get(), DmError::Busy),
+            },
+        };
         // Child of the RPC layer's server-handle span when the request was
         // traced; a no-op (one flag read) otherwise.
         let mut op = telemetry::span(SpanKind::DmOp, proto::req_name(ty), self.addr().node.0);

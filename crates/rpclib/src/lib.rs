@@ -144,6 +144,57 @@ impl Default for RpcConfig {
     }
 }
 
+/// Exponential backoff with optional multiplicative jitter — the policy
+/// behind the retransmission watchdog, exposed so higher layers (e.g. the
+/// DM client's `Busy`-retry loop) reuse the exact same wait schedule
+/// instead of inventing a second one.
+///
+/// Each [`Backoff::next_wait`] returns the current interval (jittered by
+/// `1 + U[0,1) × jitter` when a jitter fraction and RNG are supplied) and
+/// then doubles the base, saturating at `cap`.
+#[derive(Clone)]
+pub struct Backoff {
+    next: Duration,
+    cap: Duration,
+    jitter: f64,
+    rng: Option<SimRng>,
+}
+
+impl Backoff {
+    /// Deterministic (jitter-free) backoff starting at `base`, doubling
+    /// up to `cap` (raised to `base` if smaller).
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            next: base,
+            cap: cap.max(base),
+            jitter: 0.0,
+            rng: None,
+        }
+    }
+
+    /// Backoff whose waits are multiplied by `1 + U[0,1) × jitter`. The
+    /// RNG is only consulted when `jitter > 0`, so a zero-jitter policy
+    /// draws nothing and stays schedule-identical to [`Backoff::new`].
+    pub fn with_jitter(base: Duration, cap: Duration, jitter: f64, rng: SimRng) -> Backoff {
+        Backoff {
+            next: base,
+            cap: cap.max(base),
+            jitter,
+            rng: Some(rng),
+        }
+    }
+
+    /// The wait before the next retry attempt; advances the schedule.
+    pub fn next_wait(&mut self) -> Duration {
+        let wait = match (&self.rng, self.jitter > 0.0) {
+            (Some(rng), true) => self.next.mul_f64(1.0 + rng.gen_f64() * self.jitter),
+            _ => self.next,
+        };
+        self.next = (self.next * 2).min(self.cap);
+        wait
+    }
+}
+
 /// Context handed to request handlers.
 pub struct CallCtx {
     /// The local RPC object (for nested calls).
@@ -462,15 +513,13 @@ impl Rpc {
             let mut attempts: u32 = 1; // the initial transmission
             let base = rpc.config.rto + rpc.config.rto_per_packet * (watch_pkts.len() as u32);
             let cap = rpc.config.rto_max.max(base);
-            let mut rto = base;
+            // retry_rng clones share one stream, so the draw sequence is
+            // identical to the pre-Backoff inline implementation.
+            let mut backoff =
+                Backoff::with_jitter(base, cap, rpc.config.retry_jitter, rpc.retry_rng.clone());
             let deadline = rpc.config.retry_budget.map(|b| simcore::now() + b);
             loop {
-                let wait = if rpc.config.retry_jitter > 0.0 {
-                    rto.mul_f64(1.0 + rpc.retry_rng.gen_f64() * rpc.config.retry_jitter)
-                } else {
-                    rto
-                };
-                simcore::sleep(wait).await;
+                simcore::sleep(backoff.next_wait()).await;
                 if !rpc.pending.borrow().contains_key(&req_num) {
                     return; // completed
                 }
@@ -498,7 +547,6 @@ impl Rpc {
                 for p in watch_pkts.iter() {
                     rpc.transmit(dst, packet_payload(p));
                 }
-                rto = (rto * 2).min(cap);
             }
         });
 
@@ -696,6 +744,54 @@ mod tests {
             .map(|i| net.add_node(format!("n{i}"), NicConfig::default()))
             .collect();
         (sim, net, nodes)
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(b.next_wait(), Duration::from_millis(10));
+        assert_eq!(b.next_wait(), Duration::from_millis(20));
+        assert_eq!(b.next_wait(), Duration::from_millis(35));
+        assert_eq!(b.next_wait(), Duration::from_millis(35), "saturates at cap");
+        // A cap below base is raised to base.
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(1));
+        assert_eq!(b.next_wait(), Duration::from_millis(10));
+        assert_eq!(b.next_wait(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn backoff_jitter_bounds_and_determinism() {
+        let mk = || {
+            Backoff::with_jitter(
+                Duration::from_millis(10),
+                Duration::from_millis(160),
+                0.5,
+                SimRng::new(7),
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..6 {
+            let (wa, wb) = (a.next_wait(), b.next_wait());
+            assert_eq!(wa, wb, "same seed, same schedule (draw {i})");
+            let base = Duration::from_millis(10 * (1 << i.min(4)));
+            assert!(wa >= base && wa < base.mul_f64(1.5), "draw {i}: {wa:?}");
+        }
+        // Zero jitter never consults the RNG: the shared stream is
+        // untouched after several waits.
+        let rng = SimRng::new(3);
+        let mut z = Backoff::with_jitter(
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+            0.0,
+            rng.clone(),
+        );
+        assert_eq!(z.next_wait(), Duration::from_millis(5));
+        assert_eq!(z.next_wait(), Duration::from_millis(10));
+        assert_eq!(
+            rng.next_u64(),
+            SimRng::new(3).next_u64(),
+            "no RNG draw at jitter=0"
+        );
     }
 
     #[test]

@@ -299,8 +299,15 @@ struct Coord {
     nexts: Mutex<Vec<u64>>,
     /// The window end chosen by the coordinator (ns).
     window: AtomicU64,
+    /// Written ONLY by the coordinator between the report and release
+    /// barriers, read by everyone after the release barrier. A worker must
+    /// never set it: workers flip it at arbitrary points mid-window, so two
+    /// peers in the same barrier generation could disagree — one exiting
+    /// early while the other re-enters the next barrier, leaving it one
+    /// participant short forever.
     done: AtomicBool,
-    /// First worker panic, re-raised on the main thread.
+    /// First worker panic, re-raised on the main thread. The coordinator
+    /// converts a recorded panic into `done` at the next report barrier.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
@@ -308,7 +315,6 @@ impl Coord {
     fn record_panic(&self, p: Box<dyn std::any::Any + Send>) {
         let mut slot = self.panic.lock().expect("panic slot poisoned");
         slot.get_or_insert(p);
-        self.done.store(true, Ordering::SeqCst);
     }
 }
 

@@ -132,6 +132,37 @@ impl Histogram {
         self.inner.borrow().count
     }
 
+    /// Number of recorded values ≤ `value` (e.g. requests inside an SLO
+    /// budget). Exact at sub-bucket granularity; a sub-bucket straddling
+    /// `value` contributes a linearly interpolated share, mirroring
+    /// [`Histogram::quantile`], so the absolute error is bounded by one
+    /// sub-bucket width (~1.6% relative).
+    pub fn count_below(&self, value: u64) -> u64 {
+        let h = self.inner.borrow();
+        let mut below = 0u64;
+        for (b, bucket) in h.buckets.iter().enumerate() {
+            for (s, &c) in bucket.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let low = Self::lower_edge(b, s);
+                let up = Self::value_at(b, s);
+                if up <= value {
+                    below += c;
+                } else if low > value {
+                    // Sub-buckets are visited in increasing value order.
+                    return below;
+                } else {
+                    let span = (up - low + 1) as u128;
+                    let part = (value - low + 1) as u128;
+                    below += ((c as u128 * part) / span) as u64;
+                    return below;
+                }
+            }
+        }
+        below
+    }
+
     /// Mean of recorded values (0 if empty).
     pub fn mean(&self) -> f64 {
         let h = self.inner.borrow();
@@ -275,6 +306,30 @@ mod tests {
         // Small values (< 64) are recorded exactly.
         assert_eq!(h.quantile(0.5), 31);
         assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn histogram_count_below() {
+        let h = Histogram::new();
+        assert_eq!(h.count_below(100), 0, "empty histogram");
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Small values are exact: count_below(v) == v + 1.
+        assert_eq!(h.count_below(0), 1);
+        assert_eq!(h.count_below(31), 32);
+        assert_eq!(h.count_below(63), 64);
+        assert_eq!(h.count_below(1_000_000), 64);
+        // Large values resolve within one sub-bucket (~1.6% relative).
+        let h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 1000);
+        }
+        let got = h.count_below(500_000) as f64;
+        assert!(
+            (got - 501.0).abs() <= 1000.0 * 0.02,
+            "count_below(500k) = {got}, want ~501"
+        );
     }
 
     #[test]

@@ -32,12 +32,14 @@
 mod breakdown;
 mod export;
 mod registry;
+mod slo;
 mod span;
 mod tracer;
 
 pub use breakdown::{analyze_trace, average, roots, Breakdown};
 pub use export::{chrome_trace_json, merge_node_names, merge_partition_records};
 pub use registry::{Metric, Registry, Snapshot};
+pub use slo::{SloBudget, SloReport};
 pub use span::{Category, SpanKind, SpanRecord, TraceCtx, MAX_ATTRS};
 pub use tracer::{
     current_ctx, enabled, event, event_with_parent, leaf_span, root_event, set_ctx, span,

@@ -1,0 +1,146 @@
+//! SLO evaluation over latency histograms (paper §VI scale experiments).
+//!
+//! An SLO here is a latency **budget** at one or more quantiles plus a
+//! goodput floor. [`SloReport::evaluate`] extracts p50/p99/p999 and the
+//! within-budget completion rate from a [`simcore::stats::Histogram`], so
+//! the scale-factor sweep (`bench::slo_scale`) can ask "what is the
+//! highest offered rate at which p99 stays under budget and ≥99% of
+//! issued requests complete within it?" without re-deriving quantile
+//! math at every call site.
+//!
+//! The within-budget count uses [`Histogram::count_below`], which
+//! interpolates inside the terminal bucket exactly like `quantile`
+//! does — the two views are consistent to bucket resolution (~1.6%).
+
+use std::time::Duration;
+
+use simcore::stats::Histogram;
+
+/// A latency budget against which a workload is judged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloBudget {
+    /// The latency budget applied at [`SloBudget::quantile`].
+    pub budget: Duration,
+    /// Which quantile must sit under the budget (e.g. `0.99`).
+    pub quantile: f64,
+    /// Minimum fraction of issued requests that must complete within the
+    /// budget (goodput floor, e.g. `0.99`).
+    pub min_goodput: f64,
+}
+
+impl SloBudget {
+    /// A p99 budget with a 99% within-budget goodput floor — the shape
+    /// used throughout the scale-factor sweep.
+    pub fn p99(budget: Duration) -> SloBudget {
+        SloBudget {
+            budget,
+            quantile: 0.99,
+            min_goodput: 0.99,
+        }
+    }
+}
+
+/// The verdict of evaluating one measurement window against a budget.
+#[derive(Clone, Copy, Debug)]
+pub struct SloReport {
+    /// p50 latency in nanoseconds.
+    pub p50_ns: u64,
+    /// p99 latency in nanoseconds.
+    pub p99_ns: u64,
+    /// p99.9 latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Recorded completions (histogram population).
+    pub completed: u64,
+    /// Completions whose latency fell within the budget.
+    pub within_budget: u64,
+    /// `within_budget / issued` — the SLO goodput fraction. `issued`
+    /// counts rejected and errored requests too, so shedding lowers this
+    /// even though shed requests never enter the histogram.
+    pub goodput: f64,
+    /// Latency at the budget quantile, in nanoseconds.
+    pub at_quantile_ns: u64,
+    /// Whether both the quantile budget and the goodput floor held.
+    pub met: bool,
+}
+
+impl SloReport {
+    /// Evaluate `latency` (a histogram of completion latencies) against
+    /// `slo`, where `issued` is the total number of requests offered in
+    /// the window (completed + rejected + errored).
+    pub fn evaluate(latency: &Histogram, issued: u64, slo: SloBudget) -> SloReport {
+        let budget_ns = slo.budget.as_nanos() as u64;
+        let completed = latency.count();
+        let within_budget = latency.count_below(budget_ns);
+        let goodput = if issued == 0 {
+            1.0
+        } else {
+            within_budget as f64 / issued as f64
+        };
+        let at_quantile_ns = latency.quantile(slo.quantile);
+        SloReport {
+            p50_ns: latency.quantile(0.50),
+            p99_ns: latency.quantile(0.99),
+            p999_ns: latency.quantile(0.999),
+            completed,
+            within_budget,
+            goodput,
+            at_quantile_ns,
+            met: at_quantile_ns <= budget_ns && goodput >= slo.min_goodput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_budget_workload_meets_slo() {
+        let h = Histogram::new();
+        for _ in 0..990 {
+            h.record(10_000); // 10µs
+        }
+        for _ in 0..10 {
+            h.record(40_000); // 40µs — still under budget
+        }
+        let r = SloReport::evaluate(&h, 1000, SloBudget::p99(Duration::from_micros(50)));
+        assert!(r.met, "{r:?}");
+        assert!(r.goodput > 0.99, "{r:?}");
+        assert_eq!(r.completed, 1000);
+    }
+
+    #[test]
+    fn blown_tail_fails_quantile_check() {
+        let h = Histogram::new();
+        for _ in 0..950 {
+            h.record(10_000);
+        }
+        for _ in 0..50 {
+            h.record(5_000_000); // 5ms tail: p99 lands in the tail
+        }
+        let r = SloReport::evaluate(&h, 1000, SloBudget::p99(Duration::from_micros(50)));
+        assert!(!r.met, "{r:?}");
+        assert!(r.p99_ns > 1_000_000, "{r:?}");
+    }
+
+    #[test]
+    fn rejections_count_against_goodput() {
+        let h = Histogram::new();
+        for _ in 0..500 {
+            h.record(10_000);
+        }
+        // 500 completions within budget out of 1000 issued: quantile fine,
+        // goodput floor blown.
+        let r = SloReport::evaluate(&h, 1000, SloBudget::p99(Duration::from_micros(50)));
+        assert!(!r.met, "{r:?}");
+        assert!((r.goodput - 0.5).abs() < 0.02, "{r:?}");
+    }
+
+    #[test]
+    fn empty_window_trivially_meets() {
+        let h = Histogram::new();
+        let r = SloReport::evaluate(&h, 0, SloBudget::p99(Duration::from_micros(50)));
+        assert!(r.met, "{r:?}");
+        assert_eq!(r.goodput, 1.0);
+    }
+}

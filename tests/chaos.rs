@@ -9,11 +9,13 @@
 //! (the chain via the cluster default, the COW case explicitly), so every
 //! fault sweep also exercises epoch invalidation and batched control ops.
 
-use bench::chaos::{run_chain_case, run_cow_case, sweep, sweep_parallel, FaultClass};
+use bench::chaos::{
+    run_chain_case, run_cow_case, run_slo_social_case, sweep, sweep_parallel, FaultClass,
+};
 
 #[test]
 fn bounded_sweep_holds_all_invariants() {
-    // 6 seeds x 5 fault classes x 3 cases, with a determinism double-run
+    // 6 seeds x 5 fault classes x 5 cases, with a determinism double-run
     // every 3rd seed.
     let out = sweep(0..6, 3);
     assert!(
@@ -22,7 +24,7 @@ fn bounded_sweep_holds_all_invariants() {
         out.violations.join("\n")
     );
     assert!(out.completed > 0, "no request ever completed");
-    assert!(out.cases >= 6 * 5 * 3, "sweep ran {} cases", out.cases);
+    assert!(out.cases >= 6 * 5 * 5, "sweep ran {} cases", out.cases);
 }
 
 #[test]
@@ -94,6 +96,25 @@ fn cow_case_is_reproducible_per_seed() {
         fps.windows(2).any(|w| w[0] != w[1]),
         "seed has no effect: {fps:?}"
     );
+}
+
+#[test]
+fn overloaded_social_survives_faults_without_leaks() {
+    // The DESIGN.md §14 case: an SF=10 population offered 1.2x its
+    // measured knee with the admission plane fully on. The case itself
+    // flags goodput-collapse-to-zero and post-heal page leaks as
+    // violations; here we additionally pin that overload is real (the
+    // errors field folds in Busy rejections, which must occur at 1.2x
+    // knee even without faults biting) and that the case reproduces.
+    let a = run_slo_social_case(FaultClass::BurstyLoss, 5);
+    assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+    assert!(a.completed > 0, "goodput collapsed under bursty loss");
+    assert!(
+        a.errors > 0,
+        "1.2x knee with the plane on must shed or fault at least once"
+    );
+    let b = run_slo_social_case(FaultClass::BurstyLoss, 5);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "case not reproducible");
 }
 
 #[test]
