@@ -184,6 +184,17 @@ impl Cluster {
                     lease_ttl: config.lease_ttl,
                     durability: config.dm_durability,
                     admission: config.dm_admission,
+                    // Fine-grained coherence is one knob: a cluster whose
+                    // clients fold version trailers gets servers that emit
+                    // them (the trailer changes the wire format, so the two
+                    // sides must agree). The server's lease grant mirrors
+                    // the client's serve-side bound.
+                    coherence: config.dm_client_cache.fine_grained.then(|| {
+                        dmnet::CoherenceConfig {
+                            read_lease: config.dm_client_cache.read_lease,
+                            ..Default::default()
+                        }
+                    }),
                     ..Default::default()
                 };
                 // A DmNet cluster without memory servers is a configuration
@@ -328,6 +339,49 @@ impl Cluster {
                         move || cache.wire_count(ty),
                     );
                 }
+            }
+        }
+        // Fine-grained coherence view (DESIGN.md §15), registered only when
+        // the cluster runs it so default-config telemetry dumps are
+        // unchanged: cluster-wide cache outcomes plus invalidation mix.
+        if self.config.dm_client_cache.fine_grained {
+            let stat = |eps: Vec<Weak<DmRpc>>, f: fn(&DmNetClient) -> u64| {
+                move || {
+                    eps.iter()
+                        .filter_map(|w| w.upgrade())
+                        .filter_map(|ep| match ep.dm() {
+                            Some(DmHandle::Net(c)) => Some(f(c)),
+                            _ => None,
+                        })
+                        .sum::<u64>()
+                }
+            };
+            let eps = self.endpoints.borrow().clone();
+            reg.register_gauge(
+                "dm.cache.hits",
+                stat(eps.clone(), |c| c.cache_stats().hits()),
+            );
+            reg.register_gauge(
+                "dm.cache.misses",
+                stat(eps.clone(), |c| c.cache_stats().misses()),
+            );
+            reg.register_gauge(
+                "dm.cache.targeted_inv",
+                stat(eps.clone(), |c| c.cache_stats().targeted_inv()),
+            );
+            reg.register_gauge(
+                "dm.cache.broadcast_inv",
+                stat(eps, |c| c.cache_stats().broadcast_inv()),
+            );
+            for (i, s) in self.dm_servers.iter().enumerate() {
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.inv_pushed"), move || {
+                    srv.invalidations_pushed()
+                });
+                let srv = s.clone();
+                reg.register_gauge(format!("dmserver.{i}.inv_broadcasts"), move || {
+                    srv.coherence_broadcasts()
+                });
             }
         }
         for (i, s) in self.dm_servers.iter().enumerate() {

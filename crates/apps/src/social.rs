@@ -169,7 +169,21 @@ pub async fn build_social(
     media_size: usize,
     seed: u64,
 ) -> SocialApp {
-    build_social_inner(cluster, users, media_size, seed, None, None).await
+    build_social_inner(cluster, users, media_size, seed, None, None, POST_CAPACITY).await
+}
+
+/// [`build_social`] with an explicit post-storage capacity. A cap smaller
+/// than the post volume makes every steady-state compose evict (and
+/// release) the oldest post's media ref — the write-churn regime the
+/// cache-coherence bench measures.
+pub async fn build_social_capped(
+    cluster: &Cluster,
+    users: u32,
+    media_size: usize,
+    seed: u64,
+    post_capacity: usize,
+) -> SocialApp {
+    build_social_inner(cluster, users, media_size, seed, None, None, post_capacity).await
 }
 
 /// Deploy the social network over a scale-factor [`Population`], optionally
@@ -193,6 +207,7 @@ pub async fn build_social_scaled(
         seed,
         Some(pop),
         entry_admission,
+        POST_CAPACITY,
     )
     .await
 }
@@ -204,6 +219,7 @@ async fn build_social_inner(
     seed: u64,
     pop: Option<Population>,
     entry_admission: Option<AdmissionConfig>,
+    post_capacity: usize,
 ) -> SocialApp {
     let rng = SimRng::new(seed);
     let server_a = cluster.add_server("sn-a");
@@ -234,7 +250,7 @@ async fn build_social_inner(
                     let mut p = posts.borrow_mut();
                     p.0.insert(id, v);
                     p.1.push_back(id);
-                    if p.1.len() > POST_CAPACITY {
+                    if p.1.len() > post_capacity {
                         let old = p.1.pop_front().expect("len > 0");
                         p.0.remove(&old)
                     } else {
@@ -515,26 +531,34 @@ impl SocialApp {
 
     /// Compose a post with fresh media for `user`.
     pub async fn compose(&self, user: u32) -> DmResult<()> {
+        let client = self.client.clone();
+        self.compose_from(&client, user).await
+    }
+
+    /// [`Self::compose`] with the media uploaded from `writer` — a second
+    /// client endpoint — so the composer's DM traffic neither warms nor
+    /// churns this app client's cache. The cache-coherence bench uses
+    /// this to separate the reading client from the writing one.
+    pub async fn compose_from(&self, writer: &Rc<DmRpc>, user: u32) -> DmResult<()> {
         let _gate = self.gate()?;
         let media = Bytes::from(vec![(user % 251) as u8; self.media_size]);
-        let v = self.client.make_value(media).await?;
+        let v = writer.make_value(media).await?;
         let mut req = BytesMut::with_capacity(5 + v.wire_bytes());
         req.put_u8(OP_COMPOSE);
         req.put_u32_le(user);
         req.extend_from_slice(&v.encode());
-        let resp = self
-            .client
+        let resp = writer
             .rpc()
             .call(self.entry, SOC_REQ, req.freeze())
             .await
             .map_err(|_| DmError::Transport)?;
-        // NOTE: the Ref ownership passes to post-storage; the client does
+        // NOTE: the Ref ownership passes to post-storage; the writer does
         // not release it.
         if resp.as_ref() == SOC_BUSY_RESP {
             // The front door shed us before the post reached storage, so
             // ownership never transferred — release the media ref here or
             // every rejected compose would pin a DM page.
-            let _ = self.client.release(&v).await;
+            let _ = writer.release(&v).await;
             return Err(DmError::Busy);
         }
         if resp.is_empty() {

@@ -14,6 +14,7 @@ fn main() {
     bench::fig12::run();
     bench::extras::run();
     bench::rtt_budget::run();
+    bench::cache_coherence::run();
     bench::latency_breakdown::run();
     bench::recovery::run();
     println!(

@@ -1,0 +1,6 @@
+//! Hit-rate retention under write churn: the global invalidation epoch
+//! versus per-ref fine-grained coherence (DESIGN.md §15). See
+//! bench::cache_coherence.
+fn main() {
+    bench::cache_coherence::run();
+}

@@ -1,0 +1,559 @@
+//! `xtra_cache_coherence` — client-cache hit rate under write churn: the
+//! global invalidation epoch versus per-ref fine-grained coherence with
+//! targeted invalidation (DESIGN.md §15).
+//!
+//! Under the §9 global epoch, *any* ref-releasing event on a server
+//! invalidates *every* entry each of its clients cached, so even a small
+//! write fraction collapses the read hit rate cluster-wide. Fine-grained
+//! mode keeps a per-ref version instead: responses piggyback `(key,
+//! version)` pairs for the refs they touched, the server pushes targeted
+//! `INVALIDATE` messages to the read-lease holders of a ref that just
+//! died, and unrelated cached entries keep serving.
+//!
+//! Two workloads measure the difference at the same write rate:
+//!
+//! * **mixed chain** — the Fig. 5 chain where reads re-send one of a
+//!   fixed set of long-lived by-ref arguments (the final service's fetch
+//!   is cacheable) and writes run the standard fresh-argument
+//!   put/forward/release cycle, whose release churns the global epoch;
+//! * **social** — the DeathStarBench mix with a capped post storage, so
+//!   every steady-state compose evicts and releases the oldest post's
+//!   media ref while readers fetch the recent posts of hot timelines.
+//!
+//! Emits `results/xtra_cache_coherence.csv` and
+//! `results/BENCH_cache_coherence.json`. Cells are independent
+//! simulations fanned out over `SIM_THREADS` and assembled in sweep
+//! order, so both artifacts are byte-identical at every thread count.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use apps::chain::{build_chain, CHAIN_REQ};
+use apps::cluster::{Cluster, ClusterConfig, SystemKind};
+use apps::social::build_social_capped;
+use apps::workload::run_closed_loop;
+use bytes::Bytes;
+use dmnet::CacheConfig;
+use simcore::Sim;
+
+use crate::report::{f2, Table};
+
+/// Social-network population (small enough that the hot set fits the
+/// 256-entry per-server cache in *both* modes — the sweep isolates
+/// coherence churn, not capacity misses).
+pub const USERS: u32 = 32;
+
+/// Media payload per post. Above the one-page pass-by-reference
+/// threshold, so every post is DM-backed.
+pub const MEDIA: usize = 8192;
+
+/// Post-storage capacity for the bench deployment: smaller than the
+/// preload volume, so each steady-state compose evicts (and releases)
+/// the oldest post's media ref.
+pub const POST_CAP: usize = 160;
+
+/// Posts preloaded before measuring (> [`POST_CAP`]: eviction churn is
+/// active from the first measured compose).
+pub const PRELOAD: usize = 200;
+
+/// Compose/write percentages swept; 0 is the churn-free baseline.
+pub const WRITE_PCTS: [u32; 4] = [0, 5, 10, 25];
+
+/// The write fraction at which the ≥2× gate is evaluated.
+pub const GATE_PCT: u32 = 10;
+
+/// Minimum `fine-grained hit rate / global hit rate` at [`GATE_PCT`].
+pub const MIN_HIT_RATE_RATIO: f64 = 2.0;
+
+/// Chain length for the mixed read/write chain (Fig. 5 shape).
+pub const CHAIN_LEN: usize = 3;
+
+/// Chain argument size (paper Fig. 5: 4 KB array — exactly the by-ref
+/// threshold, so arguments travel as refs).
+pub const ARG_SIZE: usize = 4096;
+
+/// Long-lived by-ref arguments the chain's read side cycles over.
+pub const STABLE_REFS: usize = 16;
+
+/// Read lease used by the fine-grained cells. Long enough that hot
+/// entries are not cycled by lease expiry inside the measurement window
+/// and that the server's holder directory still covers a post when the
+/// capped storage evicts it; staleness on a *lost* push is still bounded
+/// by it (the chaos suite exercises that path — this bench is
+/// fault-free).
+pub const LEASE: Duration = Duration::from_millis(10);
+
+/// Cache/coherence counters for one measured cell.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CohPoint {
+    /// App-level operations completed in the measured window.
+    pub ops: u64,
+    /// Cache lookups served without a round trip.
+    pub hits: u64,
+    /// Cache lookups that went to the wire.
+    pub misses: u64,
+    /// Entries dropped (epoch advances, version advances, local releases).
+    pub invalidations: u64,
+    /// Targeted invalidation pushes received (fine-grained only).
+    pub targeted_inv: u64,
+    /// Epoch broadcasts observed while fine-grained (fallback path).
+    pub broadcast_inv: u64,
+    /// Control-plane wire messages across every endpoint's DM client.
+    pub ctrl: u64,
+    /// Data-plane wire messages.
+    pub data: u64,
+    /// Measured throughput, krps.
+    pub tput_krps: f64,
+}
+
+impl CohPoint {
+    /// `hits / (hits + misses)`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Control-plane wire messages per completed operation.
+    pub fn ctrl_per_op(&self) -> f64 {
+        self.ctrl as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// `fine-grained hit rate / global hit rate` for one (workload, pct) pair.
+pub fn hit_rate_ratio(global: &CohPoint, fg: &CohPoint) -> f64 {
+    if global.hit_rate() == 0.0 {
+        f64::INFINITY
+    } else {
+        fg.hit_rate() / global.hit_rate()
+    }
+}
+
+/// The fine-grained client config used by every fg cell (the cluster
+/// derives the matching server-side `CoherenceConfig` from it).
+pub fn fg_config() -> CacheConfig {
+    CacheConfig {
+        read_lease: LEASE,
+        ..CacheConfig::fine_grained()
+    }
+}
+
+fn cache_for(fine_grained: bool) -> CacheConfig {
+    if fine_grained {
+        fg_config()
+    } else {
+        CacheConfig::all_on()
+    }
+}
+
+/// Deterministic per-(worker, iteration) draw — identical op sequence
+/// for every cell, so the only degree of freedom is the coherence mode.
+fn mix_draw(w: usize, i: u64) -> u64 {
+    (w as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((i + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+}
+
+/// Collect counter deltas around `work` across every DM client of the
+/// cluster, then charge queued-but-unsent control ops to the cell.
+async fn measure<F, Fut>(cluster: &Cluster, work: F) -> CohPoint
+where
+    F: FnOnce(Rc<Cell<u64>>) -> Fut,
+    Fut: std::future::Future<Output = f64>,
+{
+    let clients: Vec<_> = cluster
+        .endpoints()
+        .iter()
+        .filter_map(|ep| ep.dm().and_then(|d| d.net_client().cloned()))
+        .collect();
+    let totals = |clients: &[Rc<dmnet::DmNetClient>]| {
+        clients.iter().fold((0u64, 0u64), |(c, d), cl| {
+            let (ctrl, data) = cl.wire_messages();
+            (c + ctrl, d + data)
+        })
+    };
+    let snap = |clients: &[Rc<dmnet::DmNetClient>]| -> Vec<[u64; 5]> {
+        clients
+            .iter()
+            .map(|c| {
+                let s = c.cache_stats();
+                [
+                    s.hits(),
+                    s.misses(),
+                    s.invalidations(),
+                    s.targeted_inv(),
+                    s.broadcast_inv(),
+                ]
+            })
+            .collect()
+    };
+    let (ctrl0, data0) = totals(&clients);
+    let stats0 = snap(&clients);
+
+    let ops = Rc::new(Cell::new(0u64));
+    let tput_krps = work(ops.clone()).await;
+    for c in &clients {
+        c.flush_cache().await;
+    }
+
+    let (ctrl1, data1) = totals(&clients);
+    let mut point = CohPoint {
+        ops: ops.get(),
+        ctrl: ctrl1 - ctrl0,
+        data: data1 - data0,
+        tput_krps,
+        ..Default::default()
+    };
+    for (s1, s0) in snap(&clients).iter().zip(&stats0) {
+        point.hits += s1[0] - s0[0];
+        point.misses += s1[1] - s0[1];
+        point.invalidations += s1[2] - s0[2];
+        point.targeted_inv += s1[3] - s0[3];
+        point.broadcast_inv += s1[4] - s0[4];
+    }
+    point
+}
+
+/// One social cell: `write_pct`% composes (each evicting + releasing an
+/// old post from the capped storage), the rest home-timeline reads.
+pub fn run_social_point(write_pct: u32, fine_grained: bool) -> CohPoint {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let config = ClusterConfig {
+            dm_client_cache: cache_for(fine_grained),
+            ..Default::default()
+        };
+        let cluster = Cluster::new(SystemKind::DmNet, 2, config, 17);
+        let app = Rc::new(build_social_capped(&cluster, USERS, MEDIA, 7, POST_CAP).await);
+        // All writes go through a second client endpoint: the reading
+        // client's cache is warmed by reads alone, so an "unrelated
+        // writer" is exactly that.
+        let writer_node = cluster.add_server("soc-writer");
+        let writer = cluster.endpoint(&writer_node, 100).await;
+        for i in 0..PRELOAD {
+            app.compose_from(&writer, (i as u32) % USERS)
+                .await
+                .expect("preload");
+        }
+        // Warm every timeline once so the measured window starts from a
+        // populated cache in both modes.
+        for u in 0..USERS {
+            app.read_home(u).await.expect("warm");
+            app.read_user(u).await.expect("warm");
+        }
+        measure(&cluster, |ops| async move {
+            let m = run_closed_loop(
+                4,
+                Duration::from_micros(100),
+                Duration::from_millis(4),
+                Rc::new(move |w: usize, i: u64| {
+                    let app = app.clone();
+                    let writer = writer.clone();
+                    let ops = ops.clone();
+                    async move {
+                        let h = mix_draw(w, i);
+                        let user = ((h >> 32) % USERS as u64) as u32;
+                        if (h % 100) < write_pct as u64 {
+                            app.compose_from(&writer, user).await?;
+                        } else if (h >> 16) % 3 == 2 {
+                            app.read_user(user).await?;
+                        } else {
+                            app.read_home(user).await?;
+                        }
+                        ops.set(ops.get() + 1);
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await;
+            m.throughput_rps() / 1e3
+        })
+        .await
+    })
+}
+
+/// One chain cell: reads re-send a long-lived by-ref argument down the
+/// chain (the final service's fetch of it is cacheable), writes run the
+/// standard fresh-argument request whose release churns the epoch.
+pub fn run_chain_point(write_pct: u32, fine_grained: bool) -> CohPoint {
+    let sim = Sim::new();
+    sim.block_on(async move {
+        let config = ClusterConfig {
+            dm_client_cache: cache_for(fine_grained),
+            ..Default::default()
+        };
+        let cluster = Cluster::new(SystemKind::DmNet, 2, config, 42);
+        let app = Rc::new(build_chain(&cluster, CHAIN_LEN).await);
+        let payload = Bytes::from(vec![7u8; ARG_SIZE]);
+        // The stable read set: long-lived by-ref arguments owned by the
+        // client for the whole run.
+        let mut stable = Vec::with_capacity(STABLE_REFS);
+        for k in 0..STABLE_REFS {
+            let data = Bytes::from(vec![(k + 1) as u8; ARG_SIZE]);
+            stable.push(app.client.make_value(data).await.expect("stable ref"));
+        }
+        // Warm: one pass so the final service has every stable ref cached.
+        for v in &stable {
+            app.client
+                .call(app.entry, CHAIN_REQ, v)
+                .await
+                .expect("warm read");
+        }
+        app.request(&payload).await.expect("warm write");
+        let stable = Rc::new(stable);
+        measure(&cluster, |ops| async move {
+            let m = run_closed_loop(
+                4,
+                Duration::from_micros(200),
+                Duration::from_millis(2),
+                Rc::new(move |w: usize, i: u64| {
+                    let app = app.clone();
+                    let payload = payload.clone();
+                    let stable = stable.clone();
+                    let ops = ops.clone();
+                    async move {
+                        let h = mix_draw(w, i);
+                        if (h % 100) < write_pct as u64 {
+                            app.request(&payload).await?;
+                        } else {
+                            let v = &stable[(h >> 32) as usize % STABLE_REFS];
+                            app.client
+                                .call(app.entry, CHAIN_REQ, v)
+                                .await
+                                .map_err(|_| dmcommon::DmError::Transport)?;
+                        }
+                        ops.set(ops.get() + 1);
+                        Ok::<(), dmcommon::DmError>(())
+                    }
+                }),
+            )
+            .await;
+            m.throughput_rps() / 1e3
+        })
+        .await
+    })
+}
+
+/// Per-write-pct outcome of one workload, for the JSON artifact.
+struct PairRow {
+    workload: &'static str,
+    pct: u32,
+    global: CohPoint,
+    fg: CohPoint,
+}
+
+impl PairRow {
+    fn ratio(&self) -> f64 {
+        hit_rate_ratio(&self.global, &self.fg)
+    }
+}
+
+fn json_ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_bench_json(rows: &[PairRow]) {
+    use std::fmt::Write as _;
+    let point = |out: &mut String, p: &CohPoint| {
+        let _ = write!(
+            out,
+            "{{\"ops\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+             \"targeted_inv\": {}, \"broadcast_inv\": {}, \"ctrl_per_op\": {:.3}}}",
+            p.ops,
+            p.hits,
+            p.misses,
+            p.hit_rate(),
+            p.targeted_inv,
+            p.broadcast_inv,
+            p.ctrl_per_op(),
+        );
+    };
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"cache_coherence\",\n");
+    let _ = writeln!(out, "  \"users\": {USERS},");
+    let _ = writeln!(out, "  \"read_lease_us\": {},", LEASE.as_micros());
+    let _ = writeln!(out, "  \"gate_write_pct\": {GATE_PCT},");
+    let _ = writeln!(out, "  \"min_hit_rate_ratio\": {MIN_HIT_RATE_RATIO},");
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"write_pct\": {}, \"global\": ",
+            r.workload, r.pct
+        );
+        point(&mut out, &r.global);
+        out.push_str(", \"fine_grained\": ");
+        point(&mut out, &r.fg);
+        let _ = write!(out, ", \"hit_rate_ratio\": {}}}", json_ratio(r.ratio()));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let dir = crate::report::results_dir();
+    let path = dir.join("BENCH_cache_coherence.json");
+    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, out)) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("  (bench json write failed: {e})"),
+    }
+}
+
+fn assert_gate(row: &PairRow) {
+    assert!(
+        row.fg.targeted_inv > 0,
+        "{} @ {}%: fine-grained cell never received a targeted \
+         invalidation — coherence plane not engaged",
+        row.workload,
+        row.pct,
+    );
+    assert_eq!(
+        row.fg.broadcast_inv, 0,
+        "{} @ {}%: fault-free fine-grained cell fell back to epoch broadcast",
+        row.workload, row.pct,
+    );
+    let ratio = row.ratio();
+    assert!(
+        ratio >= MIN_HIT_RATE_RATIO,
+        "{} @ {}%: hit-rate gate — fine-grained {:.3} vs global {:.3} \
+         ({ratio:.2}x < {MIN_HIT_RATE_RATIO}x)",
+        row.workload,
+        row.pct,
+        row.fg.hit_rate(),
+        row.global.hit_rate(),
+    );
+}
+
+/// Run the sweep, emit both artifacts, and assert the ≥2× gate on both
+/// workloads at [`GATE_PCT`].
+pub fn run() {
+    let threads = crate::pool::sim_threads();
+
+    // Cell layout: for each workload, (global, fg) per write pct. All
+    // cells are independent sims, fanned out in a fixed order.
+    let specs: Vec<(&'static str, u32, bool)> = ["chain", "social"]
+        .iter()
+        .flat_map(|&w| {
+            WRITE_PCTS
+                .iter()
+                .flat_map(move |&pct| [false, true].into_iter().map(move |fg| (w, pct, fg)))
+        })
+        .collect();
+    let cells = crate::pool::scoped_map(specs.len(), threads, |i| {
+        let (workload, pct, fg) = specs[i];
+        match workload {
+            "chain" => run_chain_point(pct, fg),
+            _ => run_social_point(pct, fg),
+        }
+    });
+
+    let mut rows: Vec<PairRow> = Vec::new();
+    for (i, chunk) in specs.chunks(2).enumerate() {
+        let (workload, pct, _) = chunk[0];
+        rows.push(PairRow {
+            workload,
+            pct,
+            global: cells[2 * i],
+            fg: cells[2 * i + 1],
+        });
+    }
+
+    let mut t = Table::new(
+        "xtra_cache_coherence",
+        &[
+            "workload",
+            "write_pct",
+            "config",
+            "ops",
+            "hits",
+            "misses",
+            "hit_rate",
+            "invalidations",
+            "targeted_inv",
+            "broadcast_inv",
+            "ctrl_msgs",
+            "ctrl_per_op",
+            "throughput_krps",
+        ],
+    );
+    for r in &rows {
+        for (label, p) in [("global_epoch", &r.global), ("fine_grained", &r.fg)] {
+            t.row(&[
+                &r.workload,
+                &r.pct,
+                &label,
+                &p.ops,
+                &p.hits,
+                &p.misses,
+                &f2(p.hit_rate()),
+                &p.invalidations,
+                &p.targeted_inv,
+                &p.broadcast_inv,
+                &p.ctrl,
+                &f2(p.ctrl_per_op()),
+                &f2(p.tput_krps),
+            ]);
+        }
+    }
+    t.finish();
+
+    for r in rows.iter().filter(|r| r.pct == GATE_PCT) {
+        println!(
+            "  {} @ {GATE_PCT}% writes: global hit rate {:.2}, fine-grained {:.2} — \
+             ratio {:.2}x (gate >= {MIN_HIT_RATE_RATIO}x)",
+            r.workload,
+            r.global.hit_rate(),
+            r.fg.hit_rate(),
+            r.ratio(),
+        );
+    }
+    write_bench_json(&rows);
+    for r in rows.iter().filter(|r| r.pct == GATE_PCT) {
+        assert_gate(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_grained_retains_twice_the_hit_rate_under_social_churn() {
+        // The ISSUE 10 acceptance bar, evaluated on the gate cells only
+        // (the full sweep runs in the binary / CI).
+        let global = run_social_point(GATE_PCT, false);
+        let fg = run_social_point(GATE_PCT, true);
+        assert!(global.ops > 0 && fg.ops > 0);
+        assert!(fg.targeted_inv > 0, "targeted invalidations flowed");
+        assert_eq!(fg.broadcast_inv, 0, "no broadcast fallback");
+        let ratio = hit_rate_ratio(&global, &fg);
+        assert!(
+            ratio >= MIN_HIT_RATE_RATIO,
+            "social hit-rate ratio {ratio:.2}x < {MIN_HIT_RATE_RATIO}x \
+             (global {:.3}, fine-grained {:.3})",
+            global.hit_rate(),
+            fg.hit_rate(),
+        );
+    }
+
+    #[test]
+    fn fine_grained_retains_twice_the_hit_rate_on_mixed_chain() {
+        let global = run_chain_point(GATE_PCT, false);
+        let fg = run_chain_point(GATE_PCT, true);
+        assert!(global.ops > 0 && fg.ops > 0);
+        assert_eq!(fg.broadcast_inv, 0, "fault-free run must not broadcast");
+        let ratio = hit_rate_ratio(&global, &fg);
+        assert!(
+            ratio >= MIN_HIT_RATE_RATIO,
+            "chain hit-rate ratio {ratio:.2}x < {MIN_HIT_RATE_RATIO}x \
+             (global {:.3}, fine-grained {:.3})",
+            global.hit_rate(),
+            fg.hit_rate(),
+        );
+    }
+}

@@ -244,6 +244,10 @@ pub fn run_chain_case(kind: SystemKind, fault: FaultClass, seed: u64) -> CaseRes
             dm_capacity_pages: 4096,
             dm_durability: (fault == FaultClass::ServerCrashRecovery)
                 .then(dmnet::WalConfig::zero_cost),
+            // Fine-grained coherence forced on (DESIGN.md §15): every fault
+            // window also races targeted invalidation pushes, read leases
+            // and the bounded holder directory.
+            dm_client_cache: CacheConfig::fine_grained(),
             ..Default::default()
         };
         let cluster = Cluster::new(kind, 2, config, seed);
@@ -370,6 +374,8 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
                 // independent of `DM_DURABLE` (see `run_chain_case`).
                 durability: (fault == FaultClass::ServerCrashRecovery)
                     .then(dmnet::WalConfig::zero_cost),
+                // Fine-grained coherence forced on (DESIGN.md §15).
+                coherence: Some(dmnet::CoherenceConfig::default()),
                 ..Default::default()
             },
         );
@@ -382,9 +388,10 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
                 .config(chaos_rpc_config())
                 .build();
             clients.push(Rc::new(
-                // Caching + batching on: the fault sweep must hold every
-                // invariant with the DESIGN.md §9 client cache in play.
-                DmNetClient::connect_with(rpc, pool.clone(), CacheConfig::all_on())
+                // Caching + batching + per-ref coherence on: the fault
+                // sweep must hold every invariant with the DESIGN.md §9/§15
+                // client cache in play.
+                DmNetClient::connect_with(rpc, pool.clone(), CacheConfig::fine_grained())
                     .await
                     .expect("fault-free connect"),
             ));
@@ -513,14 +520,22 @@ pub fn run_cow_case(fault: FaultClass, seed: u64) -> CaseResult {
             }
             // Read every acked ref back through a fresh cache-off client,
             // so hits must come from the recovered server itself rather
-            // than a survivor's cache.
+            // than a survivor's cache. (Trailer-aware but not caching: a
+            // coherent server frames versions into every ok response.)
             let vnode = net.add_node("verify", NicConfig::default());
             let vrpc = RpcBuilder::new(&net, vnode, 100)
                 .config(chaos_rpc_config())
                 .build();
-            let verifier = DmNetClient::connect(vrpc, pool.clone())
-                .await
-                .expect("healed fabric: verifier connect");
+            let verifier = DmNetClient::connect_with(
+                vrpc,
+                pool.clone(),
+                CacheConfig {
+                    fine_grained: true,
+                    ..CacheConfig::default()
+                },
+            )
+            .await
+            .expect("healed fabric: verifier connect");
             let acked_snapshot = acked.borrow().clone();
             for (ci, r, fill) in acked_snapshot.iter() {
                 let got = verifier.read_ref(r, 0, 512).await;
@@ -614,6 +629,10 @@ pub fn run_sharded_case(fault: FaultClass, seed: u64) -> CaseResult {
                 // independent of `DM_DURABLE` (see `run_chain_case`).
                 durability: (fault == FaultClass::ServerCrashRecovery)
                     .then(dmnet::WalConfig::zero_cost),
+                // Fine-grained coherence forced on: MIGRATE version
+                // transfer, `GVer` replay and targeted pushes all race the
+                // fault windows here.
+                coherence: Some(dmnet::CoherenceConfig::default()),
                 ..Default::default()
             },
         );
@@ -629,7 +648,7 @@ pub fn run_sharded_case(fault: FaultClass, seed: u64) -> CaseResult {
                 DmNetClient::connect_sharded(
                     rpc,
                     pool.clone(),
-                    CacheConfig::all_on(),
+                    CacheConfig::fine_grained(),
                     dmnet::ShardConfig::default(),
                     seed,
                 )
@@ -804,6 +823,8 @@ pub fn run_slo_social_case(fault: FaultClass, seed: u64) -> CaseResult {
                 .then(dmnet::WalConfig::zero_cost),
             dm_admission: Some(dmnet::AdmissionConfig::default()),
             dm_client_limit: dmnet::ClientLimitConfig::enabled(),
+            // Fine-grained coherence forced on (DESIGN.md §15).
+            dm_client_cache: CacheConfig::fine_grained(),
             ..Default::default()
         };
         let cluster = Cluster::new(SystemKind::DmNet, 2, config, seed);

@@ -20,9 +20,11 @@
 //! | `rtt_budget` | control-plane RTTs/op with the §9 client cache + coalescer off vs on |
 //! | `latency_breakdown` | per-RPC latency attribution from the telemetry span trees (§10) |
 //! | `slo_scale` | scale-factor sweep (1k→1M users) with overload control + SLO knees (§14) |
+//! | `cache_coherence` | hit-rate retention under write churn: global epoch vs per-ref coherence (§15) |
 
 #![warn(missing_docs)]
 
+pub mod cache_coherence;
 pub mod chaos;
 pub mod extras;
 pub mod fig10;

@@ -20,6 +20,18 @@
 //! mapping frees) per server and folds them into one [`req::BATCH`] wire
 //! message within a bounded flush window. Any synchronous request that
 //! names a queued key or region flushes first, preserving program order.
+//!
+//! **Fine-grained mode** (DESIGN.md §15) replaces the all-or-nothing
+//! epoch with per-ref versions: responses from a coherence-enabled server
+//! piggyback `(key, version)` pairs for the refs they touched, and the
+//! server pushes targeted [`req::INVALIDATE`] messages to clients whose
+//! cached copy of a ref just died. Entries are stamped with the version
+//! known at fill time plus a bounded *read lease*; a serve requires the
+//! entry's version to be at least the latest known version of its key
+//! **and** the lease to be unexpired, so an invalidation lost to the
+//! network can delay eviction only until the lease runs out — and even
+//! then the stale entry can only hold the dead ref's final (immutable)
+//! bytes, never diverged ones.
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -32,7 +44,13 @@ use telemetry::TraceCtx;
 use crate::proto::req;
 
 /// Highest request-type value tracked by the per-type wire counters.
-const MAX_REQ: usize = req::MIGRATE_IN as usize + 1;
+const MAX_REQ: usize = req::INVALIDATE as usize + 1;
+
+/// Known-version entries kept per server in fine-grained mode (FIFO).
+/// A forgotten entry is re-learned from the next trailer or push for the
+/// key; forgetting can only delay an invalidation until the entry's read
+/// lease expires, never serve diverged bytes.
+const KNOWN_MAX: usize = 1024;
 
 /// Tuning for the client-side cache and coalescer. The default disables
 /// both, keeping a raw [`crate::DmNetClient`]'s wire behavior identical to
@@ -49,6 +67,15 @@ pub struct CacheConfig {
     pub flush_window: Duration,
     /// Ref-data entries kept per server (FIFO eviction).
     pub max_entries: usize,
+    /// Per-ref coherence: fold piggybacked `(key, version)` trailers and
+    /// targeted [`req::INVALIDATE`] pushes instead of relying on the
+    /// global epoch alone. Must match the server's `coherence` setting
+    /// (the trailer changes the ok-response wire format).
+    pub fine_grained: bool,
+    /// How long a fine-grained data entry may be served without hearing
+    /// from the server (virtual time). Bounds the staleness window when a
+    /// targeted invalidation is lost.
+    pub read_lease: Duration,
 }
 
 impl Default for CacheConfig {
@@ -58,6 +85,8 @@ impl Default for CacheConfig {
             batching: false,
             flush_window: Duration::from_micros(10),
             max_entries: 256,
+            fine_grained: false,
+            read_lease: Duration::from_micros(50),
         }
     }
 }
@@ -71,6 +100,15 @@ impl CacheConfig {
             ..CacheConfig::default()
         }
     }
+
+    /// Everything on plus per-ref coherence (requires a server started
+    /// with `coherence: Some(..)`).
+    pub fn fine_grained() -> CacheConfig {
+        CacheConfig {
+            fine_grained: true,
+            ..CacheConfig::all_on()
+        }
+    }
 }
 
 /// Cache observability counters ([`crate::translator::Translator`]-style),
@@ -82,6 +120,8 @@ pub struct CacheStats {
     invalidations: Cell<u64>,
     batched_ops: Cell<u64>,
     batches: Cell<u64>,
+    targeted_inv: Cell<u64>,
+    broadcast_inv: Cell<u64>,
 }
 
 impl CacheStats {
@@ -109,12 +149,28 @@ impl CacheStats {
     pub fn batches(&self) -> u64 {
         self.batches.get()
     }
+
+    /// Targeted invalidation pushes received (fine-grained mode).
+    pub fn targeted_inv(&self) -> u64 {
+        self.targeted_inv.get()
+    }
+
+    /// Epoch advances observed while in fine-grained mode (the server's
+    /// broadcast fallback, e.g. directory overflow or restart).
+    pub fn broadcast_inv(&self) -> u64 {
+        self.broadcast_inv.get()
+    }
 }
 
 /// A cached prefix of a ref's bytes (always starting at offset 0).
 struct DataEntry {
     epoch: u64,
     bytes: Bytes,
+    /// Version of the ref known when the entry was filled (fine-grained
+    /// mode; 0 when the key's version has never been reported).
+    ver: u64,
+    /// Serve deadline (fine-grained mode only; `None` otherwise).
+    leased_until: Option<simcore::SimTime>,
 }
 
 /// This client's own mapping of a ref, tracked for sequential reuse: after
@@ -124,6 +180,9 @@ struct MapEntry {
     va: u64,
     len: u64,
     epoch: u64,
+    /// Version of the ref known when the mapping was noted (fine-grained
+    /// mode; 0 otherwise).
+    ver: u64,
     /// The app currently holds this mapping (not reusable).
     in_use: bool,
     /// Written through since mapped; a dirty mapping is never reused (its
@@ -162,6 +221,18 @@ struct ServerCache {
     pending_vas: RefCell<BTreeSet<(u32, u64)>>,
     /// A flush timer is already scheduled for this server.
     flush_scheduled: Cell<bool>,
+    /// Latest per-ref versions reported by this server (fine-grained
+    /// mode), FIFO-bounded by [`KNOWN_MAX`].
+    known: RefCell<HashMap<u64, u64>>,
+    /// Insertion order of `known` keys.
+    known_order: RefCell<VecDeque<u64>>,
+}
+
+impl ServerCache {
+    /// Latest version this client has heard for `key` (0 if never).
+    fn known_ver(&self, key: u64) -> u64 {
+        self.known.borrow().get(&key).copied().unwrap_or(0)
+    }
 }
 
 /// Per-client cache state: one [`ServerCache`] per DM server plus shared
@@ -229,6 +300,13 @@ impl ClientCache {
             return false;
         }
         s.epoch.set(epoch);
+        if self.config.fine_grained {
+            // In fine-grained mode an epoch advance is the server's
+            // broadcast fallback (directory overflow or restart).
+            self.stats
+                .broadcast_inv
+                .set(self.stats.broadcast_inv.get() + 1);
+        }
         let dropped = s.data.borrow().len();
         s.data.borrow_mut().clear();
         s.data_order.borrow_mut().clear();
@@ -253,12 +331,79 @@ impl ClientCache {
         needs_flush
     }
 
+    // -- per-ref versions (fine-grained mode) --------------------------------
+
+    /// Fold a `(key, version)` report in — from a response trailer
+    /// (`targeted == false`) or a server invalidation push
+    /// (`targeted == true`). A version advance drops the key's stale data
+    /// entry and turns its stale idle mapping's deferred release into a
+    /// queued wire free. Returns true if the caller should schedule a
+    /// flush. No-op unless fine-grained mode is on.
+    pub(crate) fn observe_version(&self, idx: usize, key: u64, ver: u64, targeted: bool) -> bool {
+        if !self.config.fine_grained {
+            return false;
+        }
+        if targeted {
+            self.stats
+                .targeted_inv
+                .set(self.stats.targeted_inv.get() + 1);
+        }
+        let s = &self.servers[idx];
+        if ver <= s.known_ver(key) {
+            return false;
+        }
+        {
+            let mut known = s.known.borrow_mut();
+            if known.insert(key, ver).is_none() {
+                let mut order = s.known_order.borrow_mut();
+                order.push_back(key);
+                while known.len() > KNOWN_MAX {
+                    let oldest = order.pop_front().expect("order tracks known");
+                    known.remove(&oldest);
+                }
+            }
+        }
+        let mut invalidated = 0u64;
+        let stale_data = matches!(s.data.borrow().get(&key), Some(e) if e.ver < ver);
+        if stale_data {
+            s.data.borrow_mut().remove(&key);
+            s.data_order.borrow_mut().retain(|&k| k != key);
+            invalidated += 1;
+        }
+        let mut needs_flush = false;
+        let idle_stale = matches!(s.maps.borrow().get(&key), Some(e) if !e.in_use && e.ver < ver);
+        if idle_stale {
+            let e = s.maps.borrow_mut().remove(&key).expect("checked above");
+            invalidated += 1;
+            needs_flush = self.queue_free_locked(s, e.va);
+        }
+        if invalidated > 0 {
+            self.stats
+                .invalidations
+                .set(self.stats.invalidations.get() + invalidated);
+        }
+        needs_flush
+    }
+
     // -- ref data ------------------------------------------------------------
 
     /// Serve `[off, off+len)` of `key` from cache, if a fresh entry covers
     /// it.
     pub(crate) fn lookup_data(&self, idx: usize, key: u64, off: u64, len: u64) -> Option<Bytes> {
         let s = &self.servers[idx];
+        // Fine-grained freshness: the entry's fill-time version must still
+        // be current and its read lease unexpired.
+        let fg = self.config.fine_grained;
+        let stale = fg
+            && matches!(s.data.borrow().get(&key), Some(e) if e.ver < s.known_ver(key)
+                || e.leased_until.is_some_and(|t| t <= simcore::now()));
+        if stale {
+            s.data.borrow_mut().remove(&key);
+            s.data_order.borrow_mut().retain(|&k| k != key);
+            self.stats
+                .invalidations
+                .set(self.stats.invalidations.get() + 1);
+        }
         let data = s.data.borrow();
         let hit = data.get(&key).and_then(|e| {
             let covered = e.epoch == s.epoch.get() && off + len <= e.bytes.len() as u64;
@@ -279,6 +424,17 @@ impl ClientCache {
         if resp_epoch < s.epoch.get() {
             return;
         }
+        // Stamp the version known *now*: the response's trailer was folded
+        // into `known` before this fill (synchronously, no await between),
+        // so an entry can never outrank what its own response reported.
+        let (ver, leased_until) = if self.config.fine_grained {
+            (
+                s.known_ver(key),
+                Some(simcore::now() + self.config.read_lease),
+            )
+        } else {
+            (0, None)
+        };
         let mut data = s.data.borrow_mut();
         let mut order = s.data_order.borrow_mut();
         if data
@@ -287,6 +443,8 @@ impl ClientCache {
                 DataEntry {
                     epoch: resp_epoch,
                     bytes,
+                    ver,
+                    leased_until,
                 },
             )
             .is_none()
@@ -327,9 +485,14 @@ impl ClientCache {
     pub(crate) fn take_mapping(&self, idx: usize, key: u64) -> Option<(u64, u64)> {
         let s = &self.servers[idx];
         let mut maps = s.maps.borrow_mut();
+        // Mappings are real server-side pins, so unlike data entries they
+        // need no read lease: a reused mapping of a dead ref still holds
+        // its (immutable) pages. Version-gate them anyway so a known-dead
+        // ref's mapping is not handed back.
         let reusable = matches!(
             maps.get(&key),
             Some(e) if !e.in_use && !e.dirty && e.epoch == s.epoch.get()
+                && (!self.config.fine_grained || e.ver >= s.known_ver(key))
         );
         if reusable {
             let e = maps.get_mut(&key).expect("checked above");
@@ -357,6 +520,11 @@ impl ClientCache {
                 va,
                 len,
                 epoch: resp_epoch.max(s.epoch.get()),
+                ver: if self.config.fine_grained {
+                    s.known_ver(key)
+                } else {
+                    0
+                },
                 in_use: true,
                 dirty: false,
             },
@@ -383,7 +551,10 @@ impl ClientCache {
         if !e.in_use {
             return FreeAction::AlreadyFreed;
         }
-        if !e.dirty && e.epoch == s.epoch.get() {
+        if !e.dirty
+            && e.epoch == s.epoch.get()
+            && (!self.config.fine_grained || e.ver >= s.known_ver(key))
+        {
             e.in_use = false;
             return FreeAction::Deferred;
         }
@@ -608,5 +779,73 @@ mod tests {
         assert_eq!(c.drain(0).len(), 2);
         assert!(!c.pending_names_key(0, 5), "drain clears conflicts");
         assert!(!c.has_pending(0));
+    }
+
+    fn fg_cache() -> ClientCache {
+        ClientCache::new(1, CacheConfig::fine_grained())
+    }
+
+    #[test]
+    fn version_advance_drops_only_the_named_key() {
+        let sim = simcore::Sim::new();
+        sim.block_on(async {
+            let c = fg_cache();
+            c.observe_version(0, 1, 1, false);
+            c.observe_version(0, 2, 1, false);
+            c.fill_data(0, 1, 0, Bytes::from_static(b"a"));
+            c.fill_data(0, 2, 0, Bytes::from_static(b"b"));
+            assert!(!c.observe_version(0, 1, 2, true), "no mapping to free");
+            assert!(c.lookup_data(0, 1, 0, 1).is_none(), "stale key dropped");
+            assert!(c.lookup_data(0, 2, 0, 1).is_some(), "unrelated key kept");
+            assert_eq!(c.stats().targeted_inv(), 1);
+            assert_eq!(c.stats().broadcast_inv(), 0);
+            // Replayed/reordered push for an older version is a no-op.
+            c.observe_version(0, 2, 1, true);
+            assert!(c.lookup_data(0, 2, 0, 1).is_some());
+        });
+    }
+
+    #[test]
+    fn read_lease_expiry_stops_serving() {
+        let sim = simcore::Sim::new();
+        sim.block_on(async {
+            let c = fg_cache();
+            c.fill_data(0, 1, 0, Bytes::from_static(b"a"));
+            assert!(c.lookup_data(0, 1, 0, 1).is_some());
+            simcore::sleep(CacheConfig::default().read_lease * 2).await;
+            assert!(c.lookup_data(0, 1, 0, 1).is_none(), "lease expired");
+            // A refill re-arms the lease.
+            c.fill_data(0, 1, 0, Bytes::from_static(b"a"));
+            assert!(c.lookup_data(0, 1, 0, 1).is_some());
+        });
+    }
+
+    #[test]
+    fn version_advance_reclaims_stale_idle_mapping() {
+        let sim = simcore::Sim::new();
+        sim.block_on(async {
+            let c = fg_cache();
+            c.observe_version(0, 9, 1, false);
+            c.note_mapping(0, 9, 0x1000, 4096, 0);
+            assert!(matches!(c.on_rfree(0, 0x1000), FreeAction::Deferred));
+            assert!(c.observe_version(0, 9, 2, true), "queues the real free");
+            assert!(c.take_mapping(0, 9).is_none());
+            let ops = c.drain(0);
+            assert_eq!(ops.len(), 1);
+            assert_eq!(ops[0].0, req::FREE);
+            assert_eq!(read_free_marker(&ops[0].1), 0x1000);
+        });
+    }
+
+    #[test]
+    fn epoch_advance_counts_as_broadcast_in_fine_grained_mode() {
+        let sim = simcore::Sim::new();
+        sim.block_on(async {
+            let c = fg_cache();
+            c.fill_data(0, 1, 0, Bytes::from_static(b"a"));
+            c.observe_epoch(0, 1);
+            assert_eq!(c.stats().broadcast_inv(), 1);
+            assert!(c.lookup_data(0, 1, 0, 1).is_none());
+        });
     }
 }

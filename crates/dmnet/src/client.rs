@@ -175,6 +175,13 @@ impl DmNetClient {
             let (epoch, body) = split_response(&resp);
             cache.observe_epoch(i, epoch);
             let body = body?;
+            // Coherent servers append a version trailer to every ok
+            // response (n = 0 here: REGISTER touches no refs).
+            let body = if cache.config().fine_grained {
+                proto::split_versions(&body)?.0
+            } else {
+                body
+            };
             let mut r = Reader::new(&body);
             pids.push(r.pid()?);
             if let Ok(ns) = r.u64() {
@@ -182,6 +189,51 @@ impl DmNetClient {
             }
         }
         let alive = Rc::new(Cell::new(true));
+        if cache.config().fine_grained {
+            // Targeted invalidation push (DESIGN.md §15): a coherent server
+            // that bumps a ref's version sends `[key u64][ver u64]` to every
+            // read-lease holder. Folding the version drops exactly the named
+            // key's cached entries; everything else keeps serving.
+            let cache_h = cache.clone();
+            let servers_h = servers.clone();
+            let pids_h = pids.clone();
+            let rpc_h = rpc.clone();
+            let alive_h = alive.clone();
+            let window = cache.config().flush_window;
+            rpc.register(req::INVALIDATE, move |ctx| {
+                let cache = cache_h.clone();
+                let servers = servers_h.clone();
+                let pids = pids_h.clone();
+                let rpc = rpc_h.clone();
+                let alive = alive_h.clone();
+                async move {
+                    let mut r = Reader::new(&ctx.payload);
+                    if let (Ok(key), Ok(ver)) = (r.u64(), r.u64()) {
+                        let idx = servers
+                            .iter()
+                            .position(|a| a.node.0 == ctx.src.node.0 && a.port == ctx.src.port);
+                        if let Some(idx) = idx {
+                            // An invalidated idle mapping becomes a queued
+                            // free; drain it on the usual flush window.
+                            if cache.observe_version(idx, key, ver, true) && alive.get() {
+                                let addr = servers[idx];
+                                let pid = pids[idx];
+                                simcore::spawn(async move {
+                                    loop {
+                                        simcore::sleep(window).await;
+                                        flush_batch(&rpc, &cache, &alive, idx, addr, pid).await;
+                                        if !alive.get() || !cache.has_pending(idx) {
+                                            return;
+                                        }
+                                    }
+                                });
+                            }
+                        }
+                    }
+                    Bytes::new()
+                }
+            });
+        }
         if let Some(ttl) = lease_ttl {
             // One renewal task per server: a renewal stalled on a crashed
             // server (waiting out the retry budget) must not delay the
@@ -390,7 +442,31 @@ impl DmNetClient {
         if self.cache.observe_epoch(server.0 as usize, epoch) {
             self.schedule_flush(server);
         }
+        let result = match result {
+            Ok(body) => self.fold_versions(server, body),
+            e => e,
+        };
         (epoch, result)
+    }
+
+    /// Strip the per-ref version trailer a coherent server appends to every
+    /// ok response and fold each `(key, version)` into the cache, dropping
+    /// any entry the trailer proves stale. No-op (and no copy) for clients
+    /// connected without [`CacheConfig::fine_grained`].
+    fn fold_versions(&self, server: DmServerId, body: Bytes) -> DmResult<Bytes> {
+        if !self.cache.config().fine_grained {
+            return Ok(body);
+        }
+        let (body, touched) = proto::split_versions(&body)?;
+        let idx = server.0 as usize;
+        let mut needs_flush = false;
+        for (key, ver) in touched {
+            needs_flush |= self.cache.observe_version(idx, key, ver, false);
+        }
+        if needs_flush {
+            self.schedule_flush(server);
+        }
+        Ok(body)
     }
 
     async fn request(&self, server: DmServerId, ty: u8, body: Bytes) -> DmResult<Bytes> {
@@ -460,6 +536,10 @@ impl DmNetClient {
             let router = self.router.as_ref().expect("routed request without router");
             match routed {
                 Routed::Ok(b) => {
+                    let b = match self.fold_versions(server, b) {
+                        Ok(b) => b,
+                        Err(e) => return (epoch, Err(e)),
+                    };
                     // Remember an off-ring home; forget a stale entry the
                     // moment the gkey answers at its ring home again.
                     if router.ring.borrow().route(gkey) != server {
@@ -473,6 +553,16 @@ impl DmNetClient {
                     let Some(next) = self.addr_to_server(node, port) else {
                         return (epoch, Err(DmError::InvalidAddress));
                     };
+                    // The tombstone proves the gkey left this server: its
+                    // cached bytes/mappings under this index are orphaned
+                    // (the general epoch sweep would only reap them after
+                    // an unrelated bump). Drop them now so a future
+                    // migration back cannot resurrect pre-move bytes.
+                    if self.cache.config().enabled
+                        && self.cache.invalidate_key(server.0 as usize, gkey)
+                    {
+                        self.schedule_flush(server);
+                    }
                     router
                         .redirects_chased
                         .set(router.redirects_chased.get() + 1);

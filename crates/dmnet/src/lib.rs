@@ -39,7 +39,7 @@ pub use admission::{Admission, AdmissionConfig};
 pub use cache::{CacheConfig, CacheStats};
 pub use client::{ClientLimitConfig, DmNetClient};
 pub use page_manager::{OpCost, PageManager};
-pub use server::{start_pool, DmServer, DmServerConfig, RecoveryReport};
+pub use server::{start_pool, CoherenceConfig, DmServer, DmServerConfig, RecoveryReport};
 pub use shard::{HashRing, ShardConfig, GKEY_BIT};
 pub use wal::{Record, Wal, WalConfig};
 
@@ -955,6 +955,280 @@ mod e2e_tests {
                 s.check_invariants_all();
                 assert_eq!(s.free_pages_total(), s.capacity_pages_total());
                 assert_eq!(s.gkeys_bound(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn targeted_invalidation_drops_only_the_released_ref() {
+        // Fine-grained coherence (DESIGN.md §15): releasing one ref pushes
+        // an invalidation to its read-lease holders and bumps nothing else.
+        // The global epoch stays put, so unrelated cached entries keep
+        // serving.
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let lease = std::time::Duration::from_millis(10);
+            let cfg = DmServerConfig {
+                coherence: Some(CoherenceConfig {
+                    read_lease: lease,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let pool = vec![servers[0].addr()];
+            let ccfg = CacheConfig {
+                read_lease: lease,
+                ..CacheConfig::fine_grained()
+            };
+            let owner = DmNetClient::connect_with(client_rpc(&net, c0, 100), pool.clone(), ccfg)
+                .await
+                .unwrap();
+            let reader = DmNetClient::connect_with(client_rpc(&net, c1, 100), pool, ccfg)
+                .await
+                .unwrap();
+
+            let da = Bytes::from(vec![0xAA; 4096]);
+            let db = Bytes::from(vec![0xBB; 4096]);
+            let ra = owner.put_ref(&da).await.unwrap();
+            let rb = owner.put_ref(&db).await.unwrap();
+            assert_eq!(reader.read_ref(&ra, 0, 4096).await.unwrap(), da);
+            assert_eq!(reader.read_ref(&rb, 0, 4096).await.unwrap(), db);
+
+            let epoch_before = servers[0].epoch();
+            owner.release_ref(&ra).await.unwrap();
+            owner.flush_cache().await; // send the queued release
+            simcore::sleep(std::time::Duration::from_micros(100)).await; // push lands
+
+            assert!(servers[0].invalidations_pushed() >= 1, "no push sent");
+            assert_eq!(
+                servers[0].epoch(),
+                epoch_before,
+                "a coherent release must not move the global epoch"
+            );
+            assert!(reader.cache_stats().targeted_inv() >= 1, "push not folded");
+            assert_eq!(reader.cache_stats().broadcast_inv(), 0);
+
+            // The untouched ref keeps serving from cache: zero wire reads.
+            let wire = reader.wire_count(proto::req::READ_REF);
+            assert_eq!(reader.read_ref(&rb, 0, 4096).await.unwrap(), db);
+            assert_eq!(reader.wire_count(proto::req::READ_REF), wire);
+
+            // The released ref's entry is gone; the wire reports the truth.
+            assert_eq!(
+                reader.read_ref(&ra, 0, 4096).await.unwrap_err(),
+                DmError::InvalidRef
+            );
+            owner.release_ref(&rb).await.unwrap();
+            owner.flush_cache().await;
+            reader.flush_cache().await;
+            servers[0].check_invariants_all();
+        });
+    }
+
+    #[test]
+    fn lost_invalidation_is_bounded_by_the_read_lease() {
+        // Safety under a lost push: a partitioned holder may serve the
+        // ref's final bytes until its read lease expires (COW refs are
+        // immutable, so those bytes are never diverged), after which the
+        // entry stops serving and the wire reports the release.
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let lease = std::time::Duration::from_micros(500);
+            let cfg = DmServerConfig {
+                coherence: Some(CoherenceConfig {
+                    read_lease: lease,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let pool = vec![servers[0].addr()];
+            let ccfg = CacheConfig {
+                read_lease: lease,
+                ..CacheConfig::fine_grained()
+            };
+            let owner = DmNetClient::connect_with(client_rpc(&net, c0, 100), pool.clone(), ccfg)
+                .await
+                .unwrap();
+            let rrpc = client_rpc(&net, c1, 100);
+            let reader = DmNetClient::connect_with(rrpc.clone(), pool, ccfg)
+                .await
+                .unwrap();
+
+            let da = Bytes::from(vec![0xCD; 4096]);
+            let ra = owner.put_ref(&da).await.unwrap();
+            assert_eq!(reader.read_ref(&ra, 0, 4096).await.unwrap(), da);
+
+            // Partition the holder; the release's push is lost on the wire.
+            rrpc.set_offline(true);
+            owner.release_ref(&ra).await.unwrap();
+            owner.flush_cache().await;
+            simcore::sleep(std::time::Duration::from_micros(100)).await;
+
+            // Within the lease the cache still serves the final bytes —
+            // stale, never diverged — without touching the (dead) wire.
+            assert_eq!(reader.read_ref(&ra, 0, 4096).await.unwrap(), da);
+
+            // Past the lease the entry stops serving on its own.
+            simcore::sleep(lease).await;
+            rrpc.set_offline(false);
+            assert_eq!(
+                reader.read_ref(&ra, 0, 4096).await.unwrap_err(),
+                DmError::InvalidRef
+            );
+            owner.flush_cache().await;
+            servers[0].check_invariants_all();
+        });
+    }
+
+    #[test]
+    fn directory_overflow_falls_back_to_epoch_broadcast() {
+        // The holder directory is bounded: once grants exceed `dir_max`,
+        // the server drops the directory and bumps the global epoch — the
+        // pre-§15 broadcast — instead of growing without bound.
+        let r = rig(1, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let (dm0, c0, c1) = (r.dm_nodes[0], r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                coherence: Some(CoherenceConfig {
+                    dir_max: 2,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &[dm0], &params, cfg);
+            let epoch0 = servers[0].epoch();
+            let pool = vec![servers[0].addr()];
+            let owner = DmNetClient::connect_with(
+                client_rpc(&net, c0, 100),
+                pool.clone(),
+                CacheConfig::fine_grained(),
+            )
+            .await
+            .unwrap();
+            let reader = DmNetClient::connect_with(
+                client_rpc(&net, c1, 100),
+                pool,
+                CacheConfig::fine_grained(),
+            )
+            .await
+            .unwrap();
+
+            let mut refs = Vec::new();
+            for i in 0..4u8 {
+                refs.push(owner.put_ref(&Bytes::from(vec![i; 4096])).await.unwrap());
+            }
+            assert!(
+                servers[0].coherence_broadcasts() >= 1,
+                "4 grants through a 2-slot directory must overflow"
+            );
+            assert!(servers[0].epoch() > epoch0, "overflow must bump the epoch");
+
+            // Correctness is unaffected: every ref still reads back, and
+            // the reader accounts the epoch movement as a broadcast.
+            for (i, r) in refs.iter().enumerate() {
+                let back = reader.read_ref(r, 0, 4096).await.unwrap();
+                assert!(back.iter().all(|&b| b == i as u8));
+            }
+            assert!(reader.cache_stats().broadcast_inv() >= 1);
+            for r in &refs {
+                owner.release_ref(r).await.unwrap();
+            }
+            owner.flush_cache().await;
+            reader.flush_cache().await;
+            servers[0].check_invariants_all();
+        });
+    }
+
+    #[test]
+    fn coherent_migration_bumps_version_and_survives_restart() {
+        // MIGRATE under coherence: the version travels with the pages
+        // (current + 1), holders of the old home get a targeted push, and
+        // the destination's version table survives crash + replay (the
+        // `GVer` WAL record).
+        let r = rig(2, 2);
+        let (net, params) = (r.net.clone(), r.params.clone());
+        let dms = r.dm_nodes.clone();
+        let (c0, c1) = (r.compute[0], r.compute[1]);
+        r.sim.block_on(async move {
+            let cfg = DmServerConfig {
+                durability: Some(WalConfig::zero_cost()),
+                coherence: Some(CoherenceConfig {
+                    read_lease: std::time::Duration::from_millis(10),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            };
+            let servers = start_pool(&net, &dms, &params, cfg);
+            let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+            let ccfg = CacheConfig {
+                read_lease: std::time::Duration::from_millis(10),
+                ..CacheConfig::fine_grained()
+            };
+            let owner = DmNetClient::connect_sharded(
+                client_rpc(&net, c0, 100),
+                pool.clone(),
+                ccfg,
+                ShardConfig::default(),
+                3,
+            )
+            .await
+            .unwrap();
+            let reader = DmNetClient::connect_sharded(
+                client_rpc(&net, c1, 100),
+                pool,
+                ccfg,
+                ShardConfig::default(),
+                3,
+            )
+            .await
+            .unwrap();
+
+            let data = Bytes::from((0..8192u32).map(|i| (i % 239) as u8).collect::<Vec<_>>());
+            let r = owner.put_ref(&data).await.unwrap();
+            let Ref::Net {
+                server: home, key, ..
+            } = r
+            else {
+                unreachable!()
+            };
+            assert_eq!(reader.read_ref(&r, 0, 8192).await.unwrap(), data);
+
+            let dst = dmcommon::DmServerId((home.0 + 1) % 2);
+            owner.migrate_ref(&r, dst).await.unwrap();
+            simcore::sleep(std::time::Duration::from_micros(100)).await;
+
+            // The reader's stale entry under the old home was dropped by
+            // the push; the re-read chases the tombstone and still agrees.
+            assert!(reader.cache_stats().targeted_inv() >= 1, "no push folded");
+            assert_eq!(reader.read_ref(&r, 0, 8192).await.unwrap(), data);
+            assert_eq!(servers[dst.0 as usize].ref_version(key), 2);
+
+            // The version table is durable: crash + replay restores it.
+            servers[dst.0 as usize].crash();
+            servers[dst.0 as usize].restart_from_log().await;
+            assert_eq!(
+                servers[dst.0 as usize].ref_version(key),
+                2,
+                "GVer lost in replay"
+            );
+            assert_eq!(
+                reader.read_ref(&r, 100, 64).await.unwrap()[..],
+                data[100..164]
+            );
+
+            reader.release_ref(&r).await.unwrap();
+            owner.flush_cache().await;
+            reader.flush_cache().await;
+            for s in &servers {
+                s.check_invariants_all();
+                assert_eq!(s.free_pages_total(), s.capacity_pages_total());
             }
         });
     }

@@ -468,6 +468,20 @@ impl PageManager {
             .ok_or(DmError::InvalidRef)
     }
 
+    /// Keys of every live ref attributed to `pid`, sorted (the coherence
+    /// plane enumerates a dying process's refs for targeted invalidation
+    /// and needs a deterministic order).
+    pub fn keys_owned_by(&self, pid: GlobalPid) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .refs
+            .iter()
+            .filter(|&(_, e)| e.owner == Some(pid.0))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Verify internal invariants; panics with a description on violation.
     /// Used by unit and property tests.
     pub fn check_invariants(&self) {

@@ -63,6 +63,13 @@ pub mod req {
     /// destination binds the gkey to a fresh local ref holding `data`,
     /// attributed to its own pid for the owning endpoint.
     pub const MIGRATE_IN: u8 = 25;
+    /// Server-to-client targeted invalidation push (`[key u64][ver u64]`,
+    /// DESIGN.md §15): the named ref's version advanced (it was released,
+    /// reclaimed, or migrated), so any cached copy filled under an older
+    /// version must be dropped. Fire-and-forget — a lost push is safe
+    /// because cached entries also carry a bounded read lease and a
+    /// version check on serve, and ref bytes are immutable while live.
+    pub const INVALIDATE: u8 = 26;
 }
 
 /// Well-known port DM servers listen on.
@@ -88,6 +95,7 @@ pub fn req_name(ty: u8) -> &'static str {
         req::PUT_REF_AT => "dm.put_ref_at",
         req::MIGRATE => "dm.migrate",
         req::MIGRATE_IN => "dm.migrate_in",
+        req::INVALIDATE => "dm.invalidate",
         _ => "dm.unknown",
     }
 }
@@ -173,6 +181,49 @@ pub fn split_response(resp: &Bytes) -> (u64, DmResult<Bytes>) {
 /// Split a response into its body or error, discarding the epoch.
 pub fn parse_response(resp: &Bytes) -> DmResult<Bytes> {
     split_response(resp).1
+}
+
+/// Encode a successful response whose body carries a per-ref version
+/// trailer (DESIGN.md §15): `body`, then `n × ([key u64][ver u64])`, then
+/// `[n u8]` as the very last byte. A coherence-mode server wraps *every*
+/// successful response this way (an untouched response gets `n = 0`), so
+/// a fine-grained client can strip the trailer unambiguously.
+pub fn ok_response_versioned(epoch: u64, body: &[u8], touched: &[(u64, u64)]) -> Bytes {
+    assert!(touched.len() <= u8::MAX as usize, "trailer count is a u8");
+    let mut b = BytesMut::with_capacity(9 + body.len() + 16 * touched.len() + 1);
+    b.extend_from_slice(&[0u8]);
+    b.extend_from_slice(&epoch.to_le_bytes());
+    b.extend_from_slice(body);
+    for &(key, ver) in touched {
+        b.extend_from_slice(&key.to_le_bytes());
+        b.extend_from_slice(&ver.to_le_bytes());
+    }
+    b.extend_from_slice(&[touched.len() as u8]);
+    b.freeze()
+}
+
+/// Strip a [`ok_response_versioned`] trailer off a success body, returning
+/// the inner body plus the `(key, version)` pairs the response touched.
+/// Only meaningful on bodies produced by a coherence-mode server.
+pub fn split_versions(body: &Bytes) -> DmResult<(Bytes, Vec<(u64, u64)>)> {
+    let len = body.len();
+    if len < 1 {
+        return Err(DmError::Malformed);
+    }
+    let n = body[len - 1] as usize;
+    let trailer = 16 * n + 1;
+    if len < trailer {
+        return Err(DmError::Malformed);
+    }
+    let base = len - trailer;
+    let mut touched = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = base + 16 * i;
+        let key = u64::from_le_bytes(body[at..at + 8].try_into().expect("len checked"));
+        let ver = u64::from_le_bytes(body[at + 8..at + 16].try_into().expect("len checked"));
+        touched.push((key, ver));
+    }
+    Ok((body.slice(..base), touched))
 }
 
 /// Status byte of a *redirect* response (DESIGN.md §13): the named gkey
@@ -531,6 +582,32 @@ mod tests {
             assert!(!is_control(ty), "type {ty} is data-plane");
         }
     }
+
+    #[test]
+    fn version_trailer_roundtrip() {
+        // Data bytes plus two touched refs; the trailer strips cleanly.
+        let resp = ok_response_versioned(5, b"payload", &[(11, 2), (GKEY_TEST, 7)]);
+        let (epoch, body) = split_response(&resp);
+        assert_eq!(epoch, 5);
+        let (inner, touched) = split_versions(&body.unwrap()).unwrap();
+        assert_eq!(&inner[..], b"payload");
+        assert_eq!(touched, vec![(11, 2), (GKEY_TEST, 7)]);
+        // Untouched responses still carry an (empty) trailer.
+        let resp = ok_response_versioned(5, b"", &[]);
+        let (inner, touched) = split_versions(&split_response(&resp).1.unwrap()).unwrap();
+        assert!(inner.is_empty() && touched.is_empty());
+        // A claimed trailer bigger than the body is malformed.
+        assert_eq!(
+            split_versions(&Bytes::from_static(&[0, 0, 3])).unwrap_err(),
+            DmError::Malformed
+        );
+        assert_eq!(
+            split_versions(&Bytes::new()).unwrap_err(),
+            DmError::Malformed
+        );
+    }
+
+    const GKEY_TEST: u64 = 1 << 63 | 42;
 
     #[test]
     fn moved_response_roundtrip() {

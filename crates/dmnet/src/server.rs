@@ -43,10 +43,13 @@ const LOW_MASK: u64 = (1u64 << SHARD_SHIFT) - 1;
 
 /// Version byte of the whole-server checkpoint snapshot (DESIGN.md §12).
 /// Version 2 appends the sharded plane's gkey-binding and tombstone
-/// tables (DESIGN.md §13); a server whose tables are empty still emits
-/// version 1, byte-identical to pre-sharding checkpoints.
+/// tables (DESIGN.md §13); version 3 additionally appends the coherence
+/// plane's per-ref version table (DESIGN.md §15). A server whose tables
+/// are empty still emits version 1, byte-identical to pre-sharding
+/// checkpoints.
 const SNAPSHOT_VERSION: u8 = 1;
 const SNAPSHOT_VERSION_SHARDED: u8 = 2;
+const SNAPSHOT_VERSION_COHERENT: u8 = 3;
 
 /// Sentinel pid in a `Record::PutRef` for an unowned ref (a migrated ref
 /// whose owner was not registered at the destination); replay maps it
@@ -71,6 +74,33 @@ pub struct RecoveryReport {
     /// Log size after repair.
     pub log_bytes: u64,
 }
+
+/// Fine-grained cache-coherence tuning (DESIGN.md §15).
+#[derive(Clone, Copy, Debug)]
+pub struct CoherenceConfig {
+    /// Total read grants the holder directory may track across all keys.
+    /// On overflow the server falls back to one epoch broadcast and a
+    /// cleared directory rather than growing without bound.
+    pub dir_max: usize,
+    /// How long a directory grant is considered live — must match the
+    /// client cache's `read_lease` (an expired grant is skipped at push
+    /// time because the holder already stopped serving the entry).
+    pub read_lease: Duration,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            dir_max: 1024,
+            read_lease: Duration::from_micros(50),
+        }
+    }
+}
+
+/// The holder directory's storage: wire key → (client node, port) →
+/// grant expiry.
+type HolderDir =
+    std::collections::HashMap<u64, std::collections::BTreeMap<(u32, u16), simcore::SimTime>>;
 
 /// DM server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -121,6 +151,15 @@ pub struct DmServerConfig {
     /// wire bytes are then identical to a server built before admission
     /// control existed.
     pub admission: Option<AdmissionConfig>,
+    /// Fine-grained cache coherence (DESIGN.md §15): when set, successful
+    /// responses append a `(key, version)` trailer for the refs they
+    /// touched, mutating ops bump only the touched ref's version, and a
+    /// bounded holder directory pushes targeted [`req::INVALIDATE`]
+    /// messages instead of advancing the global epoch. Every client of a
+    /// coherent server must run with `CacheConfig::fine_grained` (the
+    /// trailer changes the ok-response wire format). `None` (default)
+    /// keeps the global-epoch scheme and wire bytes unchanged.
+    pub coherence: Option<CoherenceConfig>,
 }
 
 impl Default for DmServerConfig {
@@ -138,6 +177,7 @@ impl Default for DmServerConfig {
             lease_ttl: None,
             durability: WalConfig::from_env(),
             admission: None,
+            coherence: None,
         }
     }
 }
@@ -196,6 +236,24 @@ pub struct DmServer {
     op_ns: Cell<u64>,
     /// Overload controller, present when `config.admission` is set.
     admission: Option<Admission>,
+    /// Coherence plane (DESIGN.md §15): per-ref versions, keyed by the
+    /// wire-visible ref key (gkey or shard-tagged key). Holds only keys
+    /// whose version differs from the implicit creation version 1 — in
+    /// practice, migrated-in gkeys. Dead keys are removed (keys are
+    /// minted once, so a dead key's version never needs to be compared
+    /// again).
+    versions: RefCell<std::collections::HashMap<u64, u64>>,
+    /// Holder directory: wire key → client endpoints granted a read
+    /// lease on it, with grant expiry (BTreeMap: push order must be
+    /// deterministic). Bounded by `CoherenceConfig::dir_max` total
+    /// grants; overflow clears it and falls back to an epoch broadcast.
+    dir: RefCell<HolderDir>,
+    /// Total grants across `dir` (the bound is on grants, not keys).
+    dir_grants: Cell<usize>,
+    /// Targeted INVALIDATE messages pushed (observability).
+    inv_pushed: Cell<u64>,
+    /// Directory-overflow broadcasts (epoch bumps) taken (observability).
+    broadcasts: Cell<u64>,
 }
 
 impl DmServer {
@@ -262,6 +320,11 @@ impl DmServer {
             translation_ns: Cell::new(0),
             op_ns: Cell::new(0),
             admission: config.admission.map(Admission::new),
+            versions: RefCell::new(std::collections::HashMap::new()),
+            dir: RefCell::new(std::collections::HashMap::new()),
+            dir_grants: Cell::new(0),
+            inv_pushed: Cell::new(0),
+            broadcasts: Cell::new(0),
         });
         server.register_handlers();
         server.spawn_sweeper();
@@ -307,6 +370,14 @@ impl DmServer {
             .map(|(&pid, _)| pid)
             .collect();
         for pid in expired {
+            // Coherent mode invalidates per-key: enumerate the dying
+            // pid's refs *before* they are freed, in sorted (wire-key)
+            // order so push schedules are deterministic.
+            let dying = if self.coherent() {
+                self.wire_keys_owned_by(GlobalPid(pid))
+            } else {
+                Default::default()
+            };
             for s in &self.shards {
                 // Already-released shards (or pids never touched here) are
                 // fine: reclamation must be idempotent.
@@ -315,8 +386,15 @@ impl DmServer {
             self.leases.borrow_mut().remove(&pid);
             self.owners.borrow_mut().remove(&pid);
             self.leases_reclaimed.set(self.leases_reclaimed.get() + 1);
-            // Reclamation drops refs: caches filled before it are suspect.
-            self.epoch.set(self.epoch.get() + 1);
+            if self.coherent() {
+                for raw in dying {
+                    self.bump_dead(raw, None);
+                }
+            } else {
+                // Reclamation drops refs: caches filled before it are
+                // suspect.
+                self.epoch.set(self.epoch.get() + 1);
+            }
             // The sweeper acts outside any request, so it cannot await the
             // media; the append is charged as free background time (the
             // reclaim is not on any acked-response path).
@@ -428,6 +506,23 @@ impl DmServer {
         self.gmap.borrow().len()
     }
 
+    // -- coherence observability (DESIGN.md §15) -----------------------------
+
+    /// Targeted INVALIDATE messages pushed to holders so far.
+    pub fn invalidations_pushed(&self) -> u64 {
+        self.inv_pushed.get()
+    }
+
+    /// Directory-overflow broadcasts (epoch bumps) taken so far.
+    pub fn coherence_broadcasts(&self) -> u64 {
+        self.broadcasts.get()
+    }
+
+    /// Current version of the wire key `raw` (1 unless it migrated).
+    pub fn ref_version(&self, raw: u64) -> u64 {
+        self.current_version(raw)
+    }
+
     /// Live redirect tombstones (observability for tests).
     pub fn tombstones(&self) -> usize {
         self.moved.borrow().len()
@@ -460,9 +555,15 @@ impl DmServer {
         let moved = self.moved.borrow();
         // A server that never served the sharded plane emits the version-1
         // layout, byte-for-byte — log sizes of pre-sharding workloads (and
-        // the CSVs derived from them) cannot shift.
+        // the CSVs derived from them) cannot shift. Likewise a coherent
+        // server with an empty version table (no live migrated refs)
+        // emits the pre-coherence layout.
+        let versions = self.versions.borrow();
         let sharded_plane = !gmap.is_empty() || !moved.is_empty();
-        let mut out = vec![if sharded_plane {
+        let coherent_plane = !versions.is_empty();
+        let mut out = vec![if coherent_plane {
+            SNAPSHOT_VERSION_COHERENT
+        } else if sharded_plane {
             SNAPSHOT_VERSION_SHARDED
         } else {
             SNAPSHOT_VERSION
@@ -478,7 +579,7 @@ impl DmServer {
             out.extend_from_slice(&addr.node.0.to_le_bytes());
             out.extend_from_slice(&addr.port.to_le_bytes());
         }
-        if sharded_plane {
+        if sharded_plane || coherent_plane {
             let mut binds: Vec<(u64, u64)> = gmap.iter().map(|(&g, &k)| (g, k)).collect();
             binds.sort_unstable_by_key(|&(g, _)| g);
             out.extend_from_slice(&(binds.len() as u32).to_le_bytes());
@@ -495,8 +596,18 @@ impl DmServer {
                 out.extend_from_slice(&addr.port.to_le_bytes());
             }
         }
+        if coherent_plane {
+            let mut vers: Vec<(u64, u64)> = versions.iter().map(|(&g, &v)| (g, v)).collect();
+            vers.sort_unstable_by_key(|&(g, _)| g);
+            out.extend_from_slice(&(vers.len() as u32).to_le_bytes());
+            for (gkey, ver) in vers {
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&ver.to_le_bytes());
+            }
+        }
         drop(gmap);
         drop(moved);
+        drop(versions);
         for s in &self.shards {
             s.pm.borrow().snapshot_into(&mut out);
         }
@@ -512,7 +623,9 @@ impl DmServer {
         assert!(buf.len() >= 3, "{BAD}");
         let version = buf[0];
         assert!(
-            version == SNAPSHOT_VERSION || version == SNAPSHOT_VERSION_SHARDED,
+            version == SNAPSHOT_VERSION
+                || version == SNAPSHOT_VERSION_SHARDED
+                || version == SNAPSHOT_VERSION_COHERENT,
             "{BAD}"
         );
         let shard_count = u16::from_le_bytes(buf[1..3].try_into().expect(BAD)) as usize;
@@ -546,7 +659,8 @@ impl DmServer {
         let mut moved = self.moved.borrow_mut();
         gmap.clear();
         moved.clear();
-        if version == SNAPSHOT_VERSION_SHARDED {
+        self.versions.borrow_mut().clear();
+        if version >= SNAPSHOT_VERSION_SHARDED {
             let n_binds = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
             for _ in 0..n_binds {
                 let gkey = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
@@ -565,6 +679,15 @@ impl DmServer {
                         port,
                     },
                 );
+            }
+        }
+        if version >= SNAPSHOT_VERSION_COHERENT {
+            let n_vers = u32::from_le_bytes(take(&mut pos, 4).try_into().expect(BAD));
+            let mut versions = self.versions.borrow_mut();
+            for _ in 0..n_vers {
+                let gkey = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+                let ver = u64::from_le_bytes(take(&mut pos, 8).try_into().expect(BAD));
+                versions.insert(gkey, ver);
             }
         }
         drop(gmap);
@@ -598,6 +721,19 @@ impl DmServer {
         let Some(w) = &self.wal else { return };
         let (a, b) = make();
         let mut n = w.push(&a) + w.push(&b);
+        if w.should_compact() {
+            n += w.compact(self.snapshot_bytes());
+        }
+        w.media().append(n).await;
+    }
+
+    /// [`Self::persist2`] for three-record ops (a coherent MIGRATE_IN:
+    /// PutRef + GBind + GVer land atomically before the compaction
+    /// check).
+    async fn persist3(&self, make: impl FnOnce() -> (Record, Record, Record)) {
+        let Some(w) = &self.wal else { return };
+        let (a, b, c) = make();
+        let mut n = w.push(&a) + w.push(&b) + w.push(&c);
         if w.should_compact() {
             n += w.compact(self.snapshot_bytes());
         }
@@ -705,7 +841,11 @@ impl DmServer {
                     .borrow_mut()
                     .release_ref(*key)
                     .expect("replay: release_ref");
-                self.epoch.set(self.epoch.get() + 1);
+                // Mirror the live path: coherent servers do not move the
+                // epoch on a release (the version bump replaced it).
+                if !self.coherent() {
+                    self.epoch.set(self.epoch.get() + 1);
+                }
             }
             Record::PutRef {
                 shard,
@@ -723,13 +863,26 @@ impl DmServer {
                 debug_assert_eq!(got, *key, "replay: put_ref divergence");
             }
             Record::ReleaseProcess { pid } => {
+                // Mirror the live sweep's version reclamation (no pushes
+                // during replay — the directory is volatile and empty).
+                let dying = if self.coherent() {
+                    self.wire_keys_owned_by(GlobalPid(*pid))
+                } else {
+                    Default::default()
+                };
                 for s in &self.shards {
                     // Idempotent, exactly like the live sweep: shards that
                     // never saw the pid return an error we ignore.
                     let _ = s.pm.borrow_mut().release_process(GlobalPid(*pid));
                 }
                 self.owners.borrow_mut().remove(pid);
-                self.epoch.set(self.epoch.get() + 1);
+                if self.coherent() {
+                    for raw in dying {
+                        self.versions.borrow_mut().remove(&raw);
+                    }
+                } else {
+                    self.epoch.set(self.epoch.get() + 1);
+                }
             }
             Record::GBind { gkey, key } => {
                 self.gmap.borrow_mut().insert(*gkey, *key);
@@ -738,9 +891,11 @@ impl DmServer {
             }
             Record::GUnbind { gkey } => {
                 self.gmap.borrow_mut().remove(gkey);
+                self.versions.borrow_mut().remove(gkey);
             }
             Record::GMoved { gkey, node, port } => {
                 self.gmap.borrow_mut().remove(gkey);
+                self.versions.borrow_mut().remove(gkey);
                 self.moved.borrow_mut().insert(
                     *gkey,
                     simnet::Addr {
@@ -748,6 +903,9 @@ impl DmServer {
                         port: *port,
                     },
                 );
+            }
+            Record::GVer { gkey, ver } => {
+                self.versions.borrow_mut().insert(*gkey, *ver);
             }
             Record::Checkpoint { snapshot } => self.restore_snapshot(snapshot),
         }
@@ -790,6 +948,12 @@ impl DmServer {
         self.leases.borrow_mut().clear();
         self.gmap.borrow_mut().clear();
         self.moved.borrow_mut().clear();
+        // The holder directory and version table are rebuilt from scratch:
+        // grants are volatile (the post-recovery epoch bump broadcasts to
+        // every pre-crash holder anyway), versions replay from the log.
+        self.dir.borrow_mut().clear();
+        self.dir_grants.set(0);
+        self.versions.borrow_mut().clear();
         self.epoch.set(0);
         self.next_alloc.set(0);
         for rec in &report.records {
@@ -946,6 +1110,106 @@ impl DmServer {
         Err(DmError::InvalidRef)
     }
 
+    // -- coherence plane (DESIGN.md §15) -------------------------------------
+
+    fn coherent(&self) -> bool {
+        self.config.coherence.is_some()
+    }
+
+    /// Current version of the wire key `raw`. Creation is the implicit
+    /// version 1, so only keys that moved (MIGRATE) occupy the table.
+    fn current_version(&self, raw: u64) -> u64 {
+        self.versions.borrow().get(&raw).copied().unwrap_or(1)
+    }
+
+    /// Record that `src` now holds a cached copy of `raw` (no-op unless
+    /// coherent). On directory overflow every grant is dropped and the
+    /// epoch advances once — the broadcast fallback — so the directory
+    /// stays bounded without ever missing a holder.
+    fn grant(&self, raw: u64, src: simnet::Addr) {
+        let Some(c) = self.config.coherence else {
+            return;
+        };
+        let expiry = simcore::now() + c.read_lease;
+        let mut dir = self.dir.borrow_mut();
+        let holders = dir.entry(raw).or_default();
+        if holders.insert((src.node.0, src.port), expiry).is_some() {
+            return; // refreshed an existing grant
+        }
+        if self.dir_grants.get() + 1 > c.dir_max {
+            dir.clear();
+            self.dir_grants.set(0);
+            self.epoch.set(self.epoch.get() + 1);
+            self.broadcasts.set(self.broadcasts.get() + 1);
+            dir.entry(raw)
+                .or_default()
+                .insert((src.node.0, src.port), expiry);
+        }
+        self.dir_grants.set(self.dir_grants.get() + 1);
+    }
+
+    /// Push targeted INVALIDATE messages for `raw` at `ver` to every
+    /// live holder (fire-and-forget: a lost push is safe — the holder's
+    /// read lease bounds how long it can keep serving, and a stale entry
+    /// can only hold the dead ref's final immutable bytes). `exclude`
+    /// skips the requester, whose own response trailer already carries
+    /// the new version.
+    fn push_invalidations(&self, raw: u64, ver: u64, exclude: Option<simnet::Addr>) {
+        if !self.coherent() {
+            return;
+        }
+        let Some(holders) = self.dir.borrow_mut().remove(&raw) else {
+            return;
+        };
+        self.dir_grants.set(self.dir_grants.get() - holders.len());
+        let now = simcore::now();
+        for ((node, port), expiry) in holders {
+            let dst = simnet::Addr {
+                node: NodeId(node),
+                port,
+            };
+            if expiry <= now || Some(dst) == exclude {
+                continue;
+            }
+            self.inv_pushed.set(self.inv_pushed.get() + 1);
+            let rpc = self.rpc.clone();
+            let body = Writer::new().u64(raw).u64(ver).finish();
+            simcore::spawn(async move {
+                let _ = rpc.call(dst, req::INVALIDATE, body).await;
+            });
+        }
+    }
+
+    /// Kill the wire key `raw`: drop its version entry (keys are minted
+    /// once, so it will never be compared again) and push its successor
+    /// version to holders so their cached copies die promptly. Returns
+    /// the pushed version for the requester's response trailer.
+    fn bump_dead(&self, raw: u64, exclude: Option<simnet::Addr>) -> u64 {
+        let ver = self.versions.borrow_mut().remove(&raw).unwrap_or(1) + 1;
+        self.push_invalidations(raw, ver, exclude);
+        ver
+    }
+
+    /// Every wire-visible key of refs owned by `pid`, sorted (push order
+    /// must be deterministic): the shard-tagged local keys plus any gkeys
+    /// bound to them.
+    fn wire_keys_owned_by(&self, pid: GlobalPid) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for (shard, s) in self.shards.iter().enumerate() {
+            for key in s.pm.borrow().keys_owned_by(pid) {
+                out.push(self.tag(shard, key));
+            }
+        }
+        let tagged: std::collections::HashSet<u64> = out.iter().copied().collect();
+        for (&gkey, &t) in self.gmap.borrow().iter() {
+            if tagged.contains(&t) {
+                out.push(gkey);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Record data-path time in the op-time denominator (translation stat).
     fn note_data_time(&self, bytes: u64) {
         let t = self
@@ -1001,8 +1265,20 @@ impl DmServer {
     }
 
     /// Wrap `body` in a success response carrying the current epoch.
+    /// A coherent server appends a version trailer to *every* ok
+    /// response (empty when the op touched no cacheable ref) so clients
+    /// can strip it unambiguously.
     fn ok(&self, body: &[u8]) -> Bytes {
-        ok_response(self.epoch.get(), body)
+        self.ok_v(&[], body)
+    }
+
+    /// [`Self::ok`] with the `(key, version)` pairs this op touched.
+    fn ok_v(&self, touched: &[(u64, u64)], body: &[u8]) -> Bytes {
+        if self.coherent() {
+            proto::ok_response_versioned(self.epoch.get(), body, touched)
+        } else {
+            ok_response(self.epoch.get(), body)
+        }
     }
 
     fn register_handlers(self: &Rc<Self>) {
@@ -1169,13 +1445,15 @@ impl DmServer {
                 .await;
                 let pages = len.div_ceil(PAGE_SIZE as u64);
                 self.charge(shard, cost, pages).await;
-                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
+                let tagged = self.tag(shard, key);
+                Ok(self.ok_v(&[(tagged, 1)], &Writer::new().u64(tagged).finish()))
             }
             req::MAP_REF => {
                 let mut r = Reader::new(body);
                 let pid = r.pid()?;
                 self.check_owner(pid, src)?;
-                let (shard, key) = match self.route_key(r.u64()?)? {
+                let raw = r.u64()?;
+                let (shard, key) = match self.route_key(raw)? {
                     KeyRoute::Local(s, k) => (s, k),
                     KeyRoute::Redirect(resp) => return Ok(resp),
                 };
@@ -1188,7 +1466,11 @@ impl DmServer {
                 })
                 .await;
                 self.charge(shard, cost, cost.refcount_updates).await;
-                Ok(self.ok(&Writer::new().u64(self.tag(shard, va)).u64(len).finish()))
+                self.grant(raw, src);
+                Ok(self.ok_v(
+                    &[(raw, self.current_version(raw))],
+                    &Writer::new().u64(self.tag(shard, va)).u64(len).finish(),
+                ))
             }
             req::READ => {
                 let mut r = Reader::new(body);
@@ -1233,10 +1515,16 @@ impl DmServer {
                     KeyRoute::Redirect(resp) => return Ok(resp),
                 };
                 let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
-                // The ref is gone: advance the invalidation epoch so client
-                // caches filled before this point stop serving it. The
-                // releaser's own response already carries the new epoch.
-                self.epoch.set(self.epoch.get() + 1);
+                // The ref is gone: invalidate client caches. Coherent mode
+                // kills just this key (version bump + targeted pushes);
+                // otherwise the global epoch advances and the releaser's
+                // own response carries the new epoch.
+                let touched = if self.coherent() {
+                    vec![(raw, self.bump_dead(raw, Some(src)))]
+                } else {
+                    self.epoch.set(self.epoch.get() + 1);
+                    vec![]
+                };
                 if raw & GKEY_BIT != 0 {
                     self.gmap.borrow_mut().remove(&raw);
                     self.persist2(|| {
@@ -1257,7 +1545,7 @@ impl DmServer {
                     .await;
                 }
                 self.charge(shard, cost, cost.refcount_updates).await;
-                Ok(self.ok(&[]))
+                Ok(self.ok_v(&touched, &[]))
             }
             req::WRITE_CREATE_REF => {
                 // Fast path: write the data and create the ref in one RTT.
@@ -1297,7 +1585,10 @@ impl DmServer {
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
+                let tagged = self.tag(shard, key);
+                // The writer caches the bytes it just published.
+                self.grant(tagged, src);
+                Ok(self.ok_v(&[(tagged, 1)], &Writer::new().u64(tagged).finish()))
             }
             req::PUT_REF => {
                 let data = &body[..];
@@ -1329,11 +1620,14 @@ impl DmServer {
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(self.ok(&Writer::new().u64(self.tag(shard, key)).finish()))
+                let tagged = self.tag(shard, key);
+                self.grant(tagged, src);
+                Ok(self.ok_v(&[(tagged, 1)], &Writer::new().u64(tagged).finish()))
             }
             req::READ_REF => {
                 let mut r = Reader::new(body);
-                let (shard, key) = match self.route_key(r.u64()?)? {
+                let raw = r.u64()?;
+                let (shard, key) = match self.route_key(raw)? {
                     KeyRoute::Local(s, k) => (s, k),
                     KeyRoute::Redirect(resp) => return Ok(resp),
                 };
@@ -1344,7 +1638,10 @@ impl DmServer {
                 self.charge(shard, OpCost::default(), translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(self.ok(&data))
+                // The reader may now cache these bytes: grant it a read
+                // lease and report the key's version alongside the data.
+                self.grant(raw, src);
+                Ok(self.ok_v(&[(raw, self.current_version(raw))], &data))
             }
             req::PUT_REF_AT => {
                 // Sharded plane (DESIGN.md §13): publish under a
@@ -1393,7 +1690,8 @@ impl DmServer {
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;
                 self.note_data_time(len);
-                Ok(self.ok(&[]))
+                self.grant(gkey, src);
+                Ok(self.ok_v(&[(gkey, 1)], &[]))
             }
             req::MIGRATE => {
                 // Ownership migration (DESIGN.md §13): transfer the gkey's
@@ -1437,6 +1735,14 @@ impl DmServer {
                     Some(a) => w.u32(a.node.0).u32(a.port as u32),
                     None => w.u32(NO_OWNER_PID).u32(0),
                 };
+                // Versions travel with ownership: the destination installs
+                // the successor version, so clients that cached the ref
+                // here can never mistake a pre-migration fill for current
+                // once they reach the new home.
+                let next_ver = self.current_version(gkey) + 1;
+                if self.coherent() {
+                    w = w.u64(next_ver);
+                }
                 let fwd = w.bytes(&data).finish();
                 // The transfer rides the simulated fabric: migration pays
                 // real server-to-server bandwidth and latency. A transport
@@ -1456,7 +1762,16 @@ impl DmServer {
                 let cost = self.shards[shard].pm.borrow_mut().release_ref(key)?;
                 self.gmap.borrow_mut().remove(&gkey);
                 self.moved.borrow_mut().insert(gkey, dst);
-                self.epoch.set(self.epoch.get() + 1);
+                let touched = if self.coherent() {
+                    // Targeted: holders re-read and chase the redirect to
+                    // the new home; no epoch movement.
+                    self.versions.borrow_mut().remove(&gkey);
+                    self.push_invalidations(gkey, next_ver, None);
+                    vec![(gkey, next_ver)]
+                } else {
+                    self.epoch.set(self.epoch.get() + 1);
+                    vec![]
+                };
                 self.persist2(|| {
                     (
                         Record::ReleaseRef {
@@ -1473,7 +1788,7 @@ impl DmServer {
                 .await;
                 self.migrations.set(self.migrations.get() + 1);
                 self.charge(shard, cost, translations).await;
-                Ok(self.ok(&[]))
+                Ok(self.ok_v(&touched, &[]))
             }
             req::MIGRATE_IN => {
                 // Destination half of MIGRATE: bind the gkey to a fresh
@@ -1488,6 +1803,11 @@ impl DmServer {
                 }
                 let owner_node = r.u32()?;
                 let owner_port = r.u32()?;
+                // A coherent source framed the transferred version between
+                // the owner fields and the data (sources and destinations
+                // always agree on the coherence setting — it is one
+                // cluster-wide knob).
+                let ver = if self.coherent() { r.u64()? } else { 1 };
                 let data = r.rest();
                 if self.gmap.borrow().contains_key(&gkey) {
                     return Err(DmError::Malformed);
@@ -1522,18 +1842,37 @@ impl DmServer {
                 self.gmap.borrow_mut().insert(gkey, tagged);
                 // A ref migrating back home clears its own stale tombstone.
                 self.moved.borrow_mut().remove(&gkey);
-                self.persist2(|| {
-                    (
-                        Record::PutRef {
-                            shard: shard as u16,
-                            pid: owner.map_or(NO_OWNER_PID, |p| p.0),
-                            key,
-                            data: data.to_vec(),
-                        },
-                        Record::GBind { gkey, key: tagged },
-                    )
-                })
-                .await;
+                if ver != 1 {
+                    // Only non-creation versions occupy the table (and the
+                    // log): a once-migrated gkey keeps its history.
+                    self.versions.borrow_mut().insert(gkey, ver);
+                    self.persist3(|| {
+                        (
+                            Record::PutRef {
+                                shard: shard as u16,
+                                pid: owner.map_or(NO_OWNER_PID, |p| p.0),
+                                key,
+                                data: data.to_vec(),
+                            },
+                            Record::GBind { gkey, key: tagged },
+                            Record::GVer { gkey, ver },
+                        )
+                    })
+                    .await;
+                } else {
+                    self.persist2(|| {
+                        (
+                            Record::PutRef {
+                                shard: shard as u16,
+                                pid: owner.map_or(NO_OWNER_PID, |p| p.0),
+                                key,
+                                data: data.to_vec(),
+                            },
+                            Record::GBind { gkey, key: tagged },
+                        )
+                    })
+                    .await;
+                }
                 self.migrations.set(self.migrations.get() + 1);
                 self.charge(shard, cost, translations).await;
                 self.mem.touch(len).await;

@@ -188,6 +188,16 @@ pub enum Record {
         /// Destination port.
         port: u16,
     },
+    /// Coherence plane (DESIGN.md §15): `gkey` arrived by MIGRATE_IN
+    /// carrying per-ref version `ver` (versions travel with ownership;
+    /// only non-creation versions are logged — creation is the implicit
+    /// version 1).
+    GVer {
+        /// The migrated-in global key.
+        gkey: u64,
+        /// Its transferred version (always ≥ 2).
+        ver: u64,
+    },
 }
 
 mod kind {
@@ -204,6 +214,7 @@ mod kind {
     pub const GBIND: u8 = 11;
     pub const GUNBIND: u8 = 12;
     pub const GMOVED: u8 = 13;
+    pub const GVER: u8 = 14;
 }
 
 impl Record {
@@ -311,6 +322,11 @@ impl Record {
                 out.extend_from_slice(&node.to_le_bytes());
                 out.extend_from_slice(&port.to_le_bytes());
             }
+            Record::GVer { gkey, ver } => {
+                out.push(kind::GVER);
+                out.extend_from_slice(&gkey.to_le_bytes());
+                out.extend_from_slice(&ver.to_le_bytes());
+            }
         }
     }
 
@@ -376,6 +392,10 @@ impl Record {
                 gkey: c.u64()?,
                 node: c.u32()?,
                 port: c.u16()?,
+            },
+            kind::GVER => Record::GVer {
+                gkey: c.u64()?,
+                ver: c.u64()?,
             },
             _ => return None,
         };
@@ -711,6 +731,10 @@ mod tests {
                 gkey: (1 << 63) | 78,
                 node: 4,
                 port: 7000,
+            },
+            Record::GVer {
+                gkey: (1 << 63) | 78,
+                ver: 3,
             },
         ]
     }
